@@ -1,0 +1,43 @@
+"""Ablation bench: HCF baseline, key-rotation designs, RFC 7873 comparison."""
+
+import pytest
+from conftest import record
+
+from repro.experiments.ablation import (
+    format_ablation,
+    run_hcf_ablation,
+    run_ingress_deployment,
+    run_rotation_ablation,
+    run_scheme_comparison,
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    ingress = [run_ingress_deployment(f) for f in (0.0, 0.5, 0.9, 1.0)]
+    return run_hcf_ablation(), run_rotation_ablation(), run_scheme_comparison(), ingress
+
+
+def test_ablation(benchmark, results):
+    hcf, rotation, schemes, ingress = results
+    benchmark.pedantic(lambda: results, rounds=1, iterations=1)
+    record("ablation", format_ablation(hcf, rotation, schemes, ingress))
+
+    # HCF's structural false negatives dwarf cookie-guessing odds (§II)
+    assert hcf.hcf_false_negative_rate > 0.02
+    assert hcf.cookie_false_negative_rate < 1e-9
+
+    # the generation bit preserves every outstanding cookie across a
+    # rotation; naive rotation kills them all (§III.E)
+    assert rotation.survivors_with_generation_bit == rotation.cookies_issued
+    assert rotation.survivors_naive == 0
+
+    # RFC 7873 matches the paper's modified scheme on steady-state
+    # throughput (both are ANS-capped on this testbed)
+    assert schemes.rfc7873_rps == pytest.approx(schemes.modified_dns_rps, rel=0.1)
+
+    # §II: ingress filtering leaks exactly the non-deploying fraction
+    for result in ingress:
+        assert result.leak_rate == pytest.approx(
+            1.0 - result.deployment_fraction, abs=0.02
+        )

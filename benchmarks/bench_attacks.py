@@ -1,0 +1,79 @@
+"""§III.G bench: amplification, cookie guessing, zombie throttling."""
+
+import pytest
+from conftest import record
+
+from repro.experiments.attacks import (
+    format_attack_report,
+    run_amplification,
+    run_cookie2_guessing,
+    run_probing_attack,
+    run_zombie_flood,
+)
+from repro.guard import UnverifiedResponseLimiter
+
+
+@pytest.fixture(scope="module")
+def results():
+    unguarded = run_amplification(guarded=False)
+    guarded = run_amplification(
+        guarded=True,
+        rl1=UnverifiedResponseLimiter(per_source_rate=100.0, per_source_burst=100.0),
+    )
+    guessing = run_cookie2_guessing()
+    zombie = run_zombie_flood()
+    probing_open = run_probing_attack(rl2_enabled=False)
+    probing_limited = run_probing_attack(rl2_enabled=True)
+    return unguarded, guarded, guessing, zombie, probing_open, probing_limited
+
+
+def test_attack_analysis(benchmark, results):
+    unguarded, guarded, guessing, zombie, probing_open, probing_limited = results
+    benchmark.pedantic(lambda: results, rounds=1, iterations=1)
+    record(
+        "attacks",
+        format_attack_report(
+            unguarded, guarded, guessing, zombie, probing_open, probing_limited
+        ),
+    )
+
+    # §I: an open server amplifies ~10x; §III.G: the guard bounds it < 1x
+    assert unguarded.ratio > 5.0
+    assert guarded.ratio < 1.0
+
+    # §III.G: spraying COOKIE2 succeeds with probability exactly 1/R_y
+    assert guessing.observed_success_rate == pytest.approx(
+        guessing.expected_success_rate, rel=0.01
+    )
+
+    # §III.G: a valid-cookie zombie is clamped to Rate-Limiter2's rate
+    assert zombie.admitted_rate == pytest.approx(zombie.limiter_rate, rel=0.25)
+    assert zombie.admitted_rate < zombie.offered_rate * 0.05
+
+
+def test_bandwidth_starvation(benchmark):
+    """§I: a reflected flood starves a victim's link; the guard prevents it."""
+    from repro.experiments.attacks import format_starvation, run_bandwidth_starvation
+
+    unguarded = run_bandwidth_starvation(guarded=False)
+    guarded = run_bandwidth_starvation(guarded=True)
+    benchmark.pedantic(lambda: (unguarded, guarded), rounds=1, iterations=1)
+    record("starvation", format_starvation(unguarded, guarded))
+    # the attacker's own bandwidth stays far below the victim's link
+    assert unguarded.attacker_bandwidth < unguarded.victim_link_capacity / 4
+    # unguarded: the reflected flood costs the victim real packet loss
+    assert unguarded.legit_delivery_rate < 0.85
+    # guarded: nothing reflected, nothing lost
+    assert guarded.legit_delivery_rate == pytest.approx(1.0)
+
+
+def test_probing_attack_defeated_by_rl2(benchmark, results):
+    """§III.G: "Rate-Limiter2 can control the attack request rate and make
+    it difficult to check if a guessed y value is correct"."""
+    *_, probing_open, probing_limited = results
+    benchmark.pedantic(lambda: results, rounds=1, iterations=1)
+    # with the limiters open the probe pinpoints the correct y...
+    assert probing_open.attacker_succeeded
+    # ...and with Rate-Limiter2 engaged it learns nothing
+    assert not probing_limited.attacker_succeeded
+    assert probing_limited.identified == []

@@ -1,0 +1,22 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Each benchmark regenerates one of the paper's tables or figures (in a
+reduced-but-representative configuration), prints the paper-vs-measured
+rows, and asserts the *shape* of the result — who wins, by roughly what
+factor, where the crossovers fall.  Absolute equality with the paper's
+testbed is not expected (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def record(name: str, text: str) -> None:
+    """Print a reproduced table/figure and persist it for EXPERIMENTS.md."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

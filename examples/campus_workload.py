@@ -1,0 +1,64 @@
+"""A campus-shaped workload riding out an attack.
+
+A resolver population queries two hundred names with Zipf popularity (a
+few hot names, a long tail) through a guarded server while a spoofed flood
+ramps from nothing to 150K requests/sec and back.  The guard's operational
+counters (`guard.stats()`) tell the story at each phase.
+
+Run:  python examples/campus_workload.py
+"""
+
+from repro import ANS_ADDRESS, GuardTestbed, LrsSimulator
+from repro.attack import SpoofingAttacker
+
+NAMES = [f"svc{i}.campus.example" for i in range(200)]
+
+bed = GuardTestbed(ans="simulator", ans_mode="answer")
+resolver_node = bed.add_client("campus-resolver", via_local_guard=True)
+workload = LrsSimulator(
+    resolver_node,
+    ANS_ADDRESS,
+    qnames=NAMES,
+    workload="plain",
+    concurrency=32,
+    name_distribution="zipf",
+    zipf_s=1.1,
+)
+attacker = SpoofingAttacker(
+    bed.add_client("botnet"), ANS_ADDRESS, rate=150_000, carry_invalid_cookie=True
+)
+
+
+def phase(label: str, seconds: float) -> None:
+    workload.stats.begin_window(bed.sim.now)
+    bed.run(seconds)
+    rate = workload.stats.throughput(bed.sim.now)
+    stats = bed.guard.stats()
+    print(
+        f"{label:<18} legit {rate / 1000:6.1f}K req/s   "
+        f"dropped {stats['invalid_drops']:>8}   "
+        f"valid cookies {stats['valid_cookies']:>8}"
+    )
+
+
+workload.start()
+phase("calm", 0.5)
+attacker.start()
+phase("under attack", 0.5)
+attacker.stop()
+phase("calm again", 0.5)
+workload.stop()
+
+print()
+final = bed.guard.stats()
+print("Guard counters after the episode:")
+for key in ("queries_seen", "valid_cookies", "invalid_drops", "cookies_granted",
+            "overload_drops"):
+    print(f"  {key:<22} {final[key]}")
+print()
+print(f"Names served: {len(NAMES)} (Zipf-distributed popularity); every one")
+print("rode the same per-client cookie — the modified scheme stores one")
+print("cookie per server, not per name.")
+
+assert final["invalid_drops"] > 50_000
+assert workload.stats.timeouts <= workload.stats.completed * 0.01

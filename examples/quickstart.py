@@ -1,0 +1,45 @@
+"""Quickstart: protect a DNS server from a spoofing flood in ~40 lines.
+
+Builds the paper's testbed — an authoritative server behind a DNS guard —
+puts a legitimate resolver and a spoofing attacker on it, and shows the
+guard filtering every forged request while legitimate traffic flows.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ANS_ADDRESS, GuardTestbed, LrsSimulator
+from repro.attack import SpoofingAttacker
+
+# A testbed: [clients] -- DNS guard -- authoritative server (110K req/s).
+bed = GuardTestbed(ans="simulator", ans_mode="answer")
+
+# A legitimate resolver.  `via_local_guard=True` puts the paper's local
+# DNS guard in front of it, making it cookie-capable without modification.
+resolver_node = bed.add_client("resolver", via_local_guard=True)
+resolver = LrsSimulator(resolver_node, ANS_ADDRESS, workload="plain")
+
+# An attacker flooding 50,000 spoofed requests/sec with forged cookies.
+attacker_node = bed.add_client("attacker")
+attacker = SpoofingAttacker(
+    attacker_node, ANS_ADDRESS, rate=50_000, carry_invalid_cookie=True
+)
+
+resolver.start()
+attacker.start()
+bed.run(1.0)  # one second of virtual time
+resolver.stop()
+attacker.stop()
+
+print("After 1 simulated second under a 50K req/s spoofed flood:")
+print(f"  legitimate queries answered: {resolver.stats.completed:>8}")
+print(f"  legitimate timeouts:         {resolver.stats.timeouts:>8}")
+print(f"  attack packets sent:         {attacker.packets_sent:>8}")
+print(f"  forged cookies dropped:      {bed.guard.invalid_drops:>8}")
+print(f"  requests reaching the ANS:   {bed.ans.requests_served:>8}")
+print()
+print("Every request the ANS served carried a cookie the guard had")
+print("verified against the sender's real address; the flood never")
+print("touched it.")
+
+assert bed.guard.invalid_drops >= attacker.packets_sent * 0.95
+assert resolver.stats.completed > 1000

@@ -1,0 +1,76 @@
+"""DNS guard: spoof detection for preventing DoS attacks against DNS servers.
+
+A full reproduction of Guo, Chen & Chiueh (ICDCS 2006): the three
+cookie-based spoof-detection schemes, the substrates they run on (an RFC
+1035 wire codec, a discrete-event network simulator with UDP/TCP, a real
+authoritative server and caching recursive resolver), the attack framework,
+and runners for every table and figure in the paper's evaluation.
+
+Quick start::
+
+    from repro import GuardTestbed, LrsSimulator, ANS_ADDRESS
+
+    bed = GuardTestbed(ans="simulator", ans_mode="answer")
+    client = bed.add_client("lrs", via_local_guard=True)
+    lrs = LrsSimulator(client, ANS_ADDRESS, workload="plain")
+    lrs.start()
+    bed.run(1.0)
+    print(lrs.stats.completed, "queries answered through the guard")
+"""
+
+from .dns import (
+    AnsSimulator,
+    AuthoritativeServer,
+    DnsCache,
+    LocalRecursiveServer,
+    LrsSimulator,
+    StubResolver,
+    TcpLoadClient,
+    Zone,
+    parse_zone_text,
+)
+from .dnswire import Message, Name, Question, ResourceRecord, RRType, make_query
+from .experiments import ANS_ADDRESS, FluidModel, GuardTestbed
+from .guard import (
+    CookieFactory,
+    GuardCosts,
+    LocalDnsGuard,
+    RemoteDnsGuard,
+    TokenBucket,
+    UnverifiedResponseLimiter,
+    VerifiedRequestLimiter,
+)
+from .netsim import Link, Node, Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ANS_ADDRESS",
+    "AnsSimulator",
+    "AuthoritativeServer",
+    "CookieFactory",
+    "DnsCache",
+    "FluidModel",
+    "GuardCosts",
+    "GuardTestbed",
+    "Link",
+    "LocalDnsGuard",
+    "LocalRecursiveServer",
+    "LrsSimulator",
+    "Message",
+    "Name",
+    "Node",
+    "Question",
+    "RRType",
+    "RemoteDnsGuard",
+    "ResourceRecord",
+    "Simulator",
+    "StubResolver",
+    "TcpLoadClient",
+    "TokenBucket",
+    "UnverifiedResponseLimiter",
+    "VerifiedRequestLimiter",
+    "Zone",
+    "make_query",
+    "parse_zone_text",
+]

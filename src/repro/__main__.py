@@ -1,0 +1,238 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands regenerate the paper's tables and figures or run a quick demo.
+Each accepts ``--fast`` for a reduced (but representative) configuration
+and ``--seed`` for reproducibility.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro import ANS_ADDRESS, GuardTestbed, LrsSimulator
+    from repro.attack import SpoofingAttacker
+
+    bed = GuardTestbed(seed=args.seed, ans="simulator", ans_mode="answer")
+    resolver_node = bed.add_client("resolver", via_local_guard=True)
+    resolver = LrsSimulator(resolver_node, ANS_ADDRESS, workload="plain")
+    attacker = SpoofingAttacker(
+        bed.add_client("attacker"), ANS_ADDRESS, rate=50_000, carry_invalid_cookie=True
+    )
+    resolver.start()
+    attacker.start()
+    bed.run(1.0)
+    print("One simulated second under a 50K req/s spoofed flood:")
+    print(f"  legitimate answers: {resolver.stats.completed}")
+    print(f"  forged requests dropped: {bed.guard.invalid_drops}")
+    print(f"  requests reaching the ANS: {bed.ans.requests_served}")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.experiments.table1 import format_table1, run_table1
+
+    print(format_table1(run_table1(measure_latency=not args.fast, seed=args.seed)))
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from repro.experiments.table2 import format_table2, run_table2
+
+    print(format_table2(run_table2(seed=args.seed)))
+    return 0
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    from repro.experiments.table3 import format_table3, run_table3
+
+    print(format_table3(run_table3(seed=args.seed, fast=args.fast)))
+    return 0
+
+
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    from repro.experiments.fig5 import format_fig5, run_fig5
+
+    points = run_fig5(seed=args.seed, fast=args.fast)
+    print(format_fig5(points))
+    if args.plot:
+        from repro.experiments.plotting import plot_fig5
+
+        print()
+        print(plot_fig5(points))
+    return 0
+
+
+def _cmd_fig6(args: argparse.Namespace) -> int:
+    from repro.experiments.fig6 import format_fig6, run_fig6
+
+    points = run_fig6(seed=args.seed, fast=args.fast)
+    print(format_fig6(points))
+    if args.plot:
+        from repro.experiments.plotting import plot_fig6
+
+        print()
+        print(plot_fig6(points))
+    return 0
+
+
+def _cmd_fig7(args: argparse.Namespace) -> int:
+    from repro.experiments.fig7 import format_fig7, run_fig7
+
+    series_a, series_b = run_fig7(seed=args.seed, fast=args.fast)
+    print(format_fig7(series_a, series_b))
+    if args.plot:
+        from repro.experiments.plotting import plot_fig7
+
+        print()
+        print(plot_fig7(series_a, series_b))
+    return 0
+
+
+def _cmd_attacks(args: argparse.Namespace) -> int:
+    from repro.experiments.attacks import (
+        format_attack_report,
+        run_amplification,
+        run_cookie2_guessing,
+        run_probing_attack,
+        run_zombie_flood,
+    )
+    from repro.guard import UnverifiedResponseLimiter
+
+    unguarded = run_amplification(guarded=False, seed=args.seed)
+    guarded = run_amplification(
+        guarded=True,
+        seed=args.seed,
+        rl1=UnverifiedResponseLimiter(per_source_rate=100.0, per_source_burst=100.0),
+    )
+    guessing = run_cookie2_guessing(seed=args.seed)
+    zombie = run_zombie_flood(seed=args.seed)
+    if args.fast:
+        print(format_attack_report(unguarded, guarded, guessing, zombie))
+    else:
+        probing_open = run_probing_attack(rl2_enabled=False, seed=args.seed)
+        probing_limited = run_probing_attack(rl2_enabled=True, seed=args.seed)
+        print(
+            format_attack_report(
+                unguarded, guarded, guessing, zombie, probing_open, probing_limited
+            )
+        )
+    return 0
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    from repro.experiments.ablation import (
+        format_ablation,
+        run_hcf_ablation,
+        run_ingress_deployment,
+        run_rotation_ablation,
+        run_scheme_comparison,
+    )
+
+    ingress = None
+    if not args.fast:
+        ingress = [
+            run_ingress_deployment(fraction, seed=args.seed)
+            for fraction in (0.0, 0.5, 0.9, 1.0)
+        ]
+    print(
+        format_ablation(
+            run_hcf_ablation(seed=args.seed),
+            run_rotation_ablation(),
+            run_scheme_comparison(seed=args.seed),
+            ingress,
+        )
+    )
+    return 0
+
+
+def _cmd_containment(args: argparse.Namespace) -> int:
+    from repro.experiments.containment import format_containment, run_containment
+
+    kwargs = {"attack_duration": 0.5} if args.fast else {}
+    print(format_containment(run_containment(seed=args.seed, **kwargs)))
+    return 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    from repro.experiments.sensitivity import format_sensitivity, run_sensitivity
+
+    print(format_sensitivity(run_sensitivity()))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Assemble benchmarks/results/*.txt into one REPORT.md."""
+    import pathlib
+
+    results_dir = pathlib.Path("benchmarks/results")
+    if not results_dir.is_dir():
+        print("no benchmarks/results directory — run `pytest benchmarks/` first")
+        return 1
+    sections = []
+    for path in sorted(results_dir.glob("*.txt")):
+        sections.append(f"## {path.stem}\n\n```\n{path.read_text().rstrip()}\n```\n")
+    report = pathlib.Path("REPORT.md")
+    report.write_text(
+        "# Reproduced results\n\n"
+        "Generated from `benchmarks/results/` (run `pytest benchmarks/ "
+        "--benchmark-only` to refresh).\n\n" + "\n".join(sections)
+    )
+    print(f"wrote {report} ({len(sections)} sections)")
+    return 0
+
+
+def _cmd_fluid(args: argparse.Namespace) -> int:
+    from repro.experiments.fluid import format_predictions
+
+    print(format_predictions())
+    return 0
+
+
+_COMMANDS = {
+    "demo": (_cmd_demo, "Run the quickstart demo: a guarded ANS under a spoofed flood"),
+    "table1": (_cmd_table1, "Table I: scheme comparison"),
+    "table2": (_cmd_table2, "Table II: request latency per scheme"),
+    "table3": (_cmd_table3, "Table III: guard throughput per scheme"),
+    "fig5": (_cmd_fig5, "Figure 5: BIND under attack, guard on/off"),
+    "fig6": (_cmd_fig6, "Figure 6: guard throughput/CPU under attack"),
+    "fig7": (_cmd_fig7, "Figure 7: TCP proxy throughput"),
+    "attacks": (_cmd_attacks, "Attack analysis (amplification, guessing, zombies)"),
+    "ablation": (_cmd_ablation, "Ablations: HCF baseline, rotation, RFC 7873"),
+    "containment": (
+        _cmd_containment,
+        "Containment timeline: throughput as an attack starts mid-run",
+    ),
+    "fluid": (_cmd_fluid, "Analytical model predictions"),
+    "report": (_cmd_report, "Assemble benchmarks/results into REPORT.md"),
+    "sensitivity": (
+        _cmd_sensitivity,
+        "Sensitivity of qualitative claims to the CPU cost model",
+    ),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="DNS guard (ICDCS 2006) reproduction: experiments and demos.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    for name, (_, help_text) in _COMMANDS.items():
+        sub = subparsers.add_parser(name, help=help_text)
+        sub.add_argument("--seed", type=int, default=0, help="simulation seed")
+        sub.add_argument(
+            "--fast", action="store_true", help="reduced (quicker) configuration"
+        )
+        sub.add_argument(
+            "--plot", action="store_true", help="also render an ASCII chart"
+        )
+    args = parser.parse_args(argv)
+    handler, _ = _COMMANDS[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

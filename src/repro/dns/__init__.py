@@ -1,0 +1,45 @@
+"""DNS servers: zones, authoritative server, recursive resolver, load generators."""
+
+from .authoritative import AuthoritativeServer, BIND_TCP_COST, BIND_UDP_COST
+from .cache import DnsCache
+from .framing import StreamFramer, frame
+from .loadgen import (
+    ANS_SIMULATOR_COST,
+    AnsSimulator,
+    LRS_SIMULATOR_TIMEOUT,
+    LoadStats,
+    LrsSimulator,
+    TcpLoadClient,
+    TraceReplayClient,
+)
+from .recursive import BIND_TIMEOUT, LocalRecursiveServer, ResolveResult
+from .secondary import SecondaryServer, TransferResult
+from .stub import StubResolver, StubResult
+from .zone import AnswerKind, LookupResult, Zone, parse_zone_text
+
+__all__ = [
+    "ANS_SIMULATOR_COST",
+    "AnsSimulator",
+    "AnswerKind",
+    "AuthoritativeServer",
+    "BIND_TCP_COST",
+    "BIND_TIMEOUT",
+    "BIND_UDP_COST",
+    "DnsCache",
+    "LRS_SIMULATOR_TIMEOUT",
+    "LoadStats",
+    "LocalRecursiveServer",
+    "LookupResult",
+    "LrsSimulator",
+    "ResolveResult",
+    "SecondaryServer",
+    "StreamFramer",
+    "StubResolver",
+    "StubResult",
+    "TcpLoadClient",
+    "TraceReplayClient",
+    "TransferResult",
+    "Zone",
+    "frame",
+    "parse_zone_text",
+]

@@ -1,0 +1,213 @@
+"""The authoritative name server (ANS).
+
+Serves one or more zones over UDP (with RFC 1035 truncation) and optionally
+TCP.  Every request costs CPU; when the CPU queue overflows the request is
+dropped silently — reproducing the indiscriminate drops that make an
+unprotected BIND collapse under attack (paper §IV.C: UDP capacity 14K
+req/s, TCP capacity 2.2K req/s on the testbed hardware).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from ipaddress import IPv4Address
+
+from ..dnswire import (
+    MAX_UDP_PAYLOAD,
+    Message,
+    Name,
+    Opcode,
+    Rcode,
+    RRType,
+    make_response,
+)
+from ..netsim import Node, TcpConnection
+from .framing import StreamFramer, frame
+from .zone import AnswerKind, Zone
+
+#: Paper-calibrated default per-request CPU costs (BIND 9.3.1 on 2.26 GHz P4).
+BIND_UDP_COST = 1.0 / 14000.0
+BIND_TCP_COST = 1.0 / 2200.0
+
+
+class AuthoritativeServer:
+    """An ANS instance bound to a node's port 53 (UDP and optionally TCP)."""
+
+    def __init__(
+        self,
+        node: Node,
+        zones: list[Zone],
+        *,
+        udp_request_cost: float = BIND_UDP_COST,
+        tcp_request_cost: float = BIND_TCP_COST,
+        serve_tcp: bool = True,
+        answer_ttl_override: int | None = None,
+        queue_limit: float = 0.01,
+        axfr_allow: "list | None" = None,
+    ):
+        """``answer_ttl_override`` forces all answer TTLs (0 disables LRS
+        caching, the configuration of the Figure 5 experiment).
+        ``axfr_allow`` restricts zone transfers to the listed addresses
+        (None = refuse all; secondaries must be allow-listed)."""
+        self.node = node
+        self.axfr_allow = set(axfr_allow) if axfr_allow is not None else None
+        self.axfr_served = 0
+        self.axfr_refused = 0
+        # a shallow queue models the socket buffer: overload drops requests
+        node.cpu.queue_limit = queue_limit
+        self.zones = sorted(zones, key=lambda z: len(z.origin), reverse=True)
+        self.udp_request_cost = udp_request_cost
+        self.tcp_request_cost = tcp_request_cost
+        self.answer_ttl_override = answer_ttl_override
+        self.requests_served = 0
+        self.requests_dropped = 0
+        self.referrals_sent = 0
+        self.answers_sent = 0
+        self._socket = node.udp.bind(53, self._on_udp_query)
+        if serve_tcp:
+            node.tcp.listen(53, self._on_tcp_connection)
+
+    # -- UDP path -----------------------------------------------------------
+
+    def _on_udp_query(
+        self, payload: Message | bytes, src: IPv4Address, sport: int, dst: IPv4Address
+    ) -> None:
+        if not isinstance(payload, Message) or not payload.is_query():
+            return
+        if not self.node.cpu.submit(
+            self.udp_request_cost, self._serve_udp, payload, src, sport, dst
+        ):
+            self.requests_dropped += 1
+
+    def _serve_udp(
+        self, query: Message, src: IPv4Address, sport: int, dst: IPv4Address
+    ) -> None:
+        response = self.respond(query)
+        if response is None:
+            return
+        limit = self._udp_payload_limit(query)
+        if response.wire_size() > limit:
+            wire_capped = Message.decode(response.encode(max_size=limit))
+            response = wire_capped
+        self._socket.send(response, src, sport, src=dst)
+
+    @staticmethod
+    def _udp_payload_limit(query: Message) -> int:
+        """EDNS(0) §6.2.3: an OPT RR's CLASS advertises the requester's UDP
+        payload capacity; classic requesters get the 512-byte limit."""
+        for rr in query.additionals:
+            if rr.rtype == RRType.OPT:
+                return max(MAX_UDP_PAYLOAD, rr.rclass)
+        return MAX_UDP_PAYLOAD
+
+    # -- TCP path -----------------------------------------------------------
+
+    def _on_tcp_connection(self, conn: TcpConnection) -> None:
+        framer = StreamFramer()
+
+        def on_data(c: TcpConnection, data: bytes) -> None:
+            if data == b"":
+                c.close()
+                return
+            from ..dnswire import DecodeError
+
+            try:
+                queries = framer.feed(data)
+            except DecodeError:
+                c.abort()  # malformed stream: hang up, never crash
+                return
+            for query in queries:
+                if not self.node.cpu.submit(self.tcp_request_cost, self._serve_tcp, c, query):
+                    self.requests_dropped += 1
+
+        conn.on_data = on_data
+
+    def _serve_tcp(self, conn: TcpConnection, query: Message) -> None:
+        from ..netsim import TcpState
+
+        if query.questions and query.question.qtype == RRType.AXFR:
+            self._serve_axfr(conn, query)
+            return
+        response = self.respond(query)
+        if response is None:
+            return
+        if conn.state in (TcpState.ESTABLISHED, TcpState.CLOSE_WAIT):
+            conn.send(frame(response))
+
+    def _serve_axfr(self, conn: TcpConnection, query: Message) -> None:
+        """RFC 5936 zone transfer: SOA, body records, SOA again.
+
+        The body is split across messages every 100 records, as real
+        servers chunk transfers.  Unauthorised requesters get REFUSED.
+        """
+        from ..netsim import TcpState
+
+        def send(message: Message) -> None:
+            if conn.state in (TcpState.ESTABLISHED, TcpState.CLOSE_WAIT):
+                conn.send(frame(message))
+
+        zone = self.zone_for(query.question.qname)
+        soa = zone.soa() if zone is not None else None
+        allowed = self.axfr_allow is not None and conn.remote_ip in self.axfr_allow
+        if zone is None or soa is None or zone.origin != query.question.qname or not allowed:
+            self.axfr_refused += 1
+            send(make_response(query, rcode=Rcode.REFUSED))
+            return
+        self.axfr_served += 1
+        body = [rr for rr in zone.all_records() if rr.rtype != RRType.SOA]
+        first = make_response(query, authoritative=True)
+        first.answers.append(soa)
+        for index, rr in enumerate(body):
+            first.answers.append(rr)
+            if len(first.answers) >= 100:
+                send(first)
+                first = make_response(query, authoritative=True)
+        first.answers.append(soa)  # closing SOA marks the end of transfer
+        send(first)
+
+    # -- shared query logic ---------------------------------------------------
+
+    def respond(self, query: Message) -> Message | None:
+        """Build the response for ``query`` (pure logic, no I/O or CPU cost)."""
+        if query.header.opcode != Opcode.QUERY or not query.questions:
+            return make_response(query, rcode=Rcode.NOTIMP)
+        question = query.question
+        zone = self.zone_for(question.qname)
+        if zone is None:
+            self.requests_served += 1
+            return make_response(query, rcode=Rcode.REFUSED)
+
+        result = zone.lookup(question.qname, question.qtype)
+        response = make_response(query, authoritative=not result.is_referral)
+        if result.kind is AnswerKind.ANSWER:
+            response.answers.extend(result.records)
+            self.answers_sent += 1
+        elif result.kind is AnswerKind.CNAME:
+            response.answers.extend(result.records)
+            target = result.records[0].rdata.target  # type: ignore[union-attr]
+            chase = zone.lookup(target, question.qtype)
+            if chase.kind is AnswerKind.ANSWER:
+                response.answers.extend(chase.records)
+            self.answers_sent += 1
+        elif result.kind is AnswerKind.DELEGATION:
+            response.authorities.extend(result.authority)
+            response.additionals.extend(result.additional)
+            self.referrals_sent += 1
+        elif result.kind is AnswerKind.NXDOMAIN:
+            response.header.rcode = Rcode.NXDOMAIN
+            response.authorities.extend(result.authority)
+        else:  # NODATA
+            response.authorities.extend(result.authority)
+        self.requests_served += 1
+        if self.answer_ttl_override is not None:
+            response.answers = [
+                dataclasses.replace(rr, ttl=self.answer_ttl_override) for rr in response.answers
+            ]
+        return response
+
+    def zone_for(self, qname: Name) -> Zone | None:
+        """The most specific zone containing ``qname`` (zones sorted deep-first)."""
+        for zone in self.zones:
+            if qname.is_subdomain_of(zone.origin):
+                return zone
+        return None

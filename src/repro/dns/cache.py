@@ -1,0 +1,109 @@
+"""A TTL-honouring resolver cache with LRU bounding.
+
+TTL semantics matter to the guard schemes: the fabricated NS records carry a
+*large* TTL precisely so the cookie stays cached at the LRS and most queries
+complete in one RTT, while experiment runners set answer TTL to 0 to disable
+caching (paper §IV.C).  A record with TTL 0 is usable for the in-flight
+resolution but never stored.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict
+
+from ..dnswire import Name, ResourceRecord
+
+
+@dataclasses.dataclass(slots=True)
+class _Entry:
+    records: list[ResourceRecord]
+    expires_at: float
+
+
+class DnsCache:
+    """Cache of rrsets keyed by (name, rtype), bounded LRU.
+
+    Also holds negative entries (RFC 2308): an NXDOMAIN/NODATA response is
+    remembered for the zone's SOA minimum so repeated queries for missing
+    names do not re-traverse the hierarchy.
+    """
+
+    def __init__(self, max_entries: int = 10000):
+        self.max_entries = max_entries
+        self._entries: OrderedDict[tuple[Name, int], _Entry] = OrderedDict()
+        self._negative: OrderedDict[tuple[Name, int], float] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.negative_hits = 0
+
+    def put(self, name: Name, rtype: int, records: list[ResourceRecord], now: float) -> None:
+        """Store an rrset; TTL 0 records are not cached (per RFC 1035)."""
+        if not records:
+            return
+        ttl = min(rr.ttl for rr in records)
+        if ttl <= 0:
+            return
+        key = (name, rtype)
+        self._entries[key] = _Entry(list(records), now + ttl)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def get(self, name: Name, rtype: int, now: float) -> list[ResourceRecord] | None:
+        """Fetch a live rrset with TTLs aged appropriately, or None."""
+        key = (name, rtype)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        if entry.expires_at <= now:
+            del self._entries[key]
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        remaining = int(entry.expires_at - now)
+        return [
+            dataclasses.replace(rr, ttl=min(rr.ttl, max(remaining, 1))) for rr in entry.records
+        ]
+
+    # -- negative caching (RFC 2308) -----------------------------------------
+
+    def put_negative(self, name: Name, rtype: int, ttl: float, now: float) -> None:
+        """Remember that ``name``/``rtype`` does not exist, for ``ttl`` seconds."""
+        if ttl <= 0:
+            return
+        key = (name, rtype)
+        self._negative[key] = now + ttl
+        self._negative.move_to_end(key)
+        while len(self._negative) > self.max_entries:
+            self._negative.popitem(last=False)
+
+    def is_negative(self, name: Name, rtype: int, now: float) -> bool:
+        """True if a live negative entry covers ``name``/``rtype``."""
+        key = (name, rtype)
+        expires_at = self._negative.get(key)
+        if expires_at is None:
+            return False
+        if expires_at <= now:
+            del self._negative[key]
+            return False
+        self.negative_hits += 1
+        return True
+
+    # -- maintenance ----------------------------------------------------------
+
+    def evict(self, name: Name, rtype: int) -> None:
+        self._entries.pop((name, rtype), None)
+        self._negative.pop((name, rtype), None)
+
+    def flush(self) -> None:
+        self._entries.clear()
+        self._negative.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple[Name, int]) -> bool:
+        return key in self._entries

@@ -1,0 +1,49 @@
+"""DNS-over-TCP stream framing (RFC 1035 §4.2.2): 2-byte length prefix."""
+
+from __future__ import annotations
+
+import struct
+
+from ..dnswire import DecodeError, Message
+
+
+def frame(message: Message) -> bytes:
+    """Serialise a message with its TCP length prefix."""
+    wire = message.encode()
+    if len(wire) > 0xFFFF:
+        raise ValueError("DNS message too large for TCP framing")
+    return struct.pack("!H", len(wire)) + wire
+
+
+class StreamFramer:
+    """Incremental de-framer: feed stream bytes, collect whole messages."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> list[Message]:
+        """Absorb ``data``; return every complete message now available."""
+        self._buffer += data
+        messages: list[Message] = []
+        while True:
+            if len(self._buffer) < 2:
+                break
+            (length,) = struct.unpack_from("!H", self._buffer, 0)
+            if len(self._buffer) < 2 + length:
+                break
+            wire = bytes(self._buffer[2 : 2 + length])
+            del self._buffer[: 2 + length]
+            messages.append(Message.decode(wire))
+        return messages
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buffer)
+
+
+def try_frame_size(message: Message) -> int:
+    """Bytes this message occupies on a TCP stream (prefix included)."""
+    return 2 + message.wire_size()
+
+
+__all__ = ["DecodeError", "StreamFramer", "frame", "try_frame_size"]

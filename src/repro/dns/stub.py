@@ -1,0 +1,82 @@
+"""The stub resolver: the thin library on end-user machines (Figure 1).
+
+It knows one trick: send a recursion-desired query to the configured LRS and
+wait.  Applications in the examples use this to drive the full stack.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from ipaddress import IPv4Address
+from typing import Callable
+
+from ..dnswire import Message, Name, Rcode, ResourceRecord, RRType, make_query
+from ..netsim import Node
+
+
+@dataclasses.dataclass(slots=True)
+class StubResult:
+    """What a stub query produced."""
+
+    status: str  # "ok" | "nxdomain" | "servfail" | "timeout"
+    records: list[ResourceRecord]
+    latency: float
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def addresses(self) -> list[IPv4Address]:
+        return [rr.rdata.address for rr in self.records if rr.rtype == RRType.A]  # type: ignore[union-attr]
+
+
+class StubResolver:
+    """Sends recursive queries to a configured LRS."""
+
+    def __init__(self, node: Node, lrs_address: IPv4Address, *, timeout: float = 5.0):
+        self.node = node
+        self.lrs_address = lrs_address
+        self.timeout = timeout
+        self._next_id = node.sim.rng.randrange(0, 0xFFFF)
+
+    def query(
+        self,
+        qname: Name | str,
+        qtype: int = RRType.A,
+        callback: Callable[[StubResult], None] | None = None,
+    ) -> None:
+        callback = callback or (lambda result: None)
+        self._next_id = (self._next_id + 1) & 0xFFFF
+        msg_id = self._next_id
+        message = make_query(qname, qtype, msg_id=msg_id, recursion_desired=True)
+        started = self.node.sim.now
+        finished = False
+
+        def finish(result: StubResult) -> None:
+            nonlocal finished
+            if finished:
+                return
+            finished = True
+            timer.cancel()
+            socket.close()
+            callback(result)
+
+        def on_response(
+            payload: Message | bytes, src: IPv4Address, sport: int, dst: IPv4Address
+        ) -> None:
+            if not isinstance(payload, Message) or payload.header.msg_id != msg_id:
+                return
+            latency = self.node.sim.now - started
+            if payload.header.rcode == Rcode.NXDOMAIN:
+                finish(StubResult("nxdomain", [], latency))
+            elif payload.header.rcode != Rcode.NOERROR:
+                finish(StubResult("servfail", [], latency))
+            else:
+                finish(StubResult("ok", list(payload.answers), latency))
+
+        socket = self.node.udp.bind_ephemeral(on_response)
+        timer = self.node.sim.schedule(
+            self.timeout,
+            lambda: finish(StubResult("timeout", [], self.node.sim.now - started)),
+        )
+        socket.send(message, self.lrs_address, 53)

@@ -1,0 +1,74 @@
+"""The modified-DNS cookie extension (paper §III.D, Figure 3b).
+
+A cookie rides in the additional-RR section as a TXT record owned by the
+root name with TTL 0.  The RData holds one 16-byte character-string: the
+cookie.  An all-zero cookie in a query means "I do not know your cookie
+yet — please tell me" (message 2 of Figure 3a); the remote guard answers
+with the correct cookie in the same format (message 3), sized identically
+so there is no traffic amplification.
+"""
+
+from __future__ import annotations
+
+from .message import Message, ResourceRecord
+from .name import Name
+from .rdata import TXT
+from .types import RRClass, RRType
+
+#: Cookie length carried by the extension (the paper uses MD5's 16 bytes).
+COOKIE_LENGTH = 16
+
+#: The all-zero cookie: "please send me my cookie".
+ZERO_COOKIE = bytes(COOKIE_LENGTH)
+
+
+def cookie_rr(cookie: bytes) -> ResourceRecord:
+    """The additional-section TXT record carrying ``cookie`` (Fig 3b)."""
+    if len(cookie) != COOKIE_LENGTH:
+        raise ValueError(f"cookie must be {COOKIE_LENGTH} bytes, got {len(cookie)}")
+    return ResourceRecord(Name.root(), RRType.TXT, RRClass.IN, 0, TXT.single(cookie))
+
+
+def attach_cookie(message: Message, cookie: bytes) -> Message:
+    """Attach (or replace) the cookie record on ``message`` in place."""
+    strip_cookie(message)
+    message.additionals.append(cookie_rr(cookie))
+    return message
+
+
+def extract_cookie(message: Message) -> bytes | None:
+    """The cookie carried by ``message``, or ``None`` if not cookie-capable.
+
+    Only a root-owned TXT record in the additional section with exactly
+    ``COOKIE_LENGTH`` bytes of payload is recognised; anything else is left
+    untouched so the extension never collides with ordinary TXT usage.
+    """
+    for rr in message.additionals:
+        if (
+            rr.rtype == RRType.TXT
+            and rr.name.is_root()
+            and isinstance(rr.rdata, TXT)
+            and len(rr.rdata.payload) == COOKIE_LENGTH
+        ):
+            return rr.rdata.payload
+    return None
+
+
+def strip_cookie(message: Message) -> Message:
+    """Remove any cookie record so the protected ANS never sees the extension."""
+    message.additionals = [
+        rr
+        for rr in message.additionals
+        if not (
+            rr.rtype == RRType.TXT
+            and rr.name.is_root()
+            and isinstance(rr.rdata, TXT)
+            and len(rr.rdata.payload) == COOKIE_LENGTH
+        )
+    ]
+    return message
+
+
+def is_cookie_request(message: Message) -> bool:
+    """True if ``message`` carries the all-zero "send me a cookie" marker."""
+    return extract_cookie(message) == ZERO_COOKIE

@@ -1,0 +1,19 @@
+"""Exceptions raised by the DNS wire-format codec."""
+
+from __future__ import annotations
+
+
+class WireError(Exception):
+    """Base class for DNS wire-format problems."""
+
+
+class NameError_(WireError):
+    """A domain name violates RFC 1035 length or syntax limits."""
+
+
+class DecodeError(WireError):
+    """A DNS message could not be parsed from its wire representation."""
+
+
+class EncodeError(WireError):
+    """A DNS message could not be serialised to wire format."""

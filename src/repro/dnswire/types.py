@@ -1,0 +1,74 @@
+"""DNS protocol constants (RFC 1035 and friends).
+
+These enums cover the record types, classes, opcodes and response codes
+that the DNS guard testbed exercises.  Unknown values are preserved
+numerically rather than rejected, matching how real resolvers treat
+unrecognised types.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class RRType(enum.IntEnum):
+    """Resource record TYPE values (RFC 1035 §3.2.2, plus AAAA/OPT)."""
+
+    A = 1
+    NS = 2
+    CNAME = 5
+    SOA = 6
+    PTR = 12
+    MX = 15
+    TXT = 16
+    AAAA = 28
+    SRV = 33
+    OPT = 41  # EDNS(0), used by the RFC 7873 extension
+    AXFR = 252  # QTYPE only: full zone transfer (RFC 5936)
+
+    @classmethod
+    def name_of(cls, value: int) -> str:
+        """Human-readable name for a TYPE value, e.g. ``TYPE255`` if unknown."""
+        try:
+            return cls(value).name
+        except ValueError:
+            return f"TYPE{value}"
+
+
+class RRClass(enum.IntEnum):
+    """Resource record CLASS values (RFC 1035 §3.2.4)."""
+
+    IN = 1
+    CH = 3
+    HS = 4
+    ANY = 255
+
+
+class Opcode(enum.IntEnum):
+    """DNS header OPCODE values."""
+
+    QUERY = 0
+    IQUERY = 1
+    STATUS = 2
+
+
+class Rcode(enum.IntEnum):
+    """DNS header RCODE values."""
+
+    NOERROR = 0
+    FORMERR = 1
+    SERVFAIL = 2
+    NXDOMAIN = 3
+    NOTIMP = 4
+    REFUSED = 5
+
+
+#: Maximum UDP payload for classic DNS (RFC 1035 §4.2.1).  Responses larger
+#: than this are truncated, which is the hook the TCP-based guard scheme uses.
+MAX_UDP_PAYLOAD = 512
+
+#: Maximum length of a single label (RFC 1035 §2.3.4).
+MAX_LABEL_LENGTH = 63
+
+#: Maximum length of a full domain name on the wire (RFC 1035 §2.3.4).
+MAX_NAME_LENGTH = 255

@@ -1,0 +1,31 @@
+"""Experiment runners reproducing every table and figure of the paper."""
+
+from .calibration import (
+    ANS_LINK_DELAY,
+    DEFAULT_GUARD_COSTS,
+    FIG5_ACTIVATION_THRESHOLD,
+    LAN_LINK_DELAY,
+    ROOT_SERVER_PEAK_RATE,
+    WAN_LINK_DELAY,
+    WAN_RTT,
+)
+from .fluid import FluidModel, format_predictions
+from .hierarchy import GuardedHierarchy
+from .testbed import ANS_ADDRESS, COOKIE_SUBNET, GUARD_ADDRESS, GuardTestbed
+
+__all__ = [
+    "ANS_ADDRESS",
+    "ANS_LINK_DELAY",
+    "COOKIE_SUBNET",
+    "DEFAULT_GUARD_COSTS",
+    "FIG5_ACTIVATION_THRESHOLD",
+    "FluidModel",
+    "GUARD_ADDRESS",
+    "GuardTestbed",
+    "GuardedHierarchy",
+    "LAN_LINK_DELAY",
+    "ROOT_SERVER_PEAK_RATE",
+    "WAN_LINK_DELAY",
+    "WAN_RTT",
+    "format_predictions",
+]

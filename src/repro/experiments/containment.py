@@ -1,0 +1,127 @@
+"""Containment timeline: how fast the guard contains a sudden attack.
+
+The paper's deployment claim (§I): the guard "can even be deployed only
+when a DoS attack arises and contains the DoS attack without lengthy
+training or tuning."  This extension experiment measures that statement as
+a time series: a legitimate workload runs; a 200K req/s spoofed flood
+switches on mid-run; the guard's activation threshold trips within one
+rate-estimator window and legitimate throughput recovers to its pre-attack
+level while the flood is still running.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..attack import SpoofingAttacker
+from ..dns import LrsSimulator
+from ..metrics import CpuSeries, Sample, ThroughputSeries
+from .testbed import ANS_ADDRESS, GuardTestbed
+
+
+@dataclasses.dataclass(slots=True)
+class ContainmentResult:
+    """Time series around an attack that starts at ``attack_start``."""
+
+    attack_start: float
+    attack_rate: float
+    threshold: float
+    throughput: list[Sample]
+    ans_cpu: list[Sample]
+    baseline_throughput: float
+    recovery_time: float | None  # seconds after attack start, None if never
+
+    @property
+    def contained(self) -> bool:
+        return self.recovery_time is not None
+
+
+def run_containment(
+    *,
+    attack_rate: float = 200_000.0,
+    threshold: float = 120_000.0,
+    seed: int = 0,
+    sample_interval: float = 0.05,
+    baseline_duration: float = 0.5,
+    attack_duration: float = 1.0,
+) -> ContainmentResult:
+    """Run the timeline and find the post-attack recovery point."""
+    bed = GuardTestbed(
+        seed=seed,
+        ans="simulator",
+        ans_mode="answer",
+        activation_threshold=threshold,
+    )
+    legit_node = bed.add_client("legit", via_local_guard=True)
+    lrs = LrsSimulator(legit_node, ANS_ADDRESS, workload="plain", concurrency=128)
+    attacker_node = bed.add_client("attacker")
+    attacker = SpoofingAttacker(
+        attacker_node, ANS_ADDRESS, rate=attack_rate, carry_invalid_cookie=True
+    )
+
+    throughput = ThroughputSeries(bed.sim, lrs.stats, interval=sample_interval)
+    ans_cpu = CpuSeries(bed.ans_node, interval=sample_interval)
+    lrs.start()
+    throughput.start()
+    ans_cpu.start()
+
+    bed.run(baseline_duration)
+    attack_start = bed.sim.now
+    attacker.start()
+    bed.run(attack_duration)
+    attacker.stop()
+    lrs.stop()
+    throughput.stop()
+    ans_cpu.stop()
+
+    baseline_samples = [s.value for s in throughput.samples if s.time <= attack_start]
+    baseline = sum(baseline_samples) / len(baseline_samples) if baseline_samples else 0.0
+
+    recovery_time = None
+    for sample in throughput.samples:
+        if sample.time <= attack_start + sample_interval:
+            continue
+        if sample.value >= 0.9 * baseline:
+            recovery_time = sample.time - attack_start
+            break
+
+    return ContainmentResult(
+        attack_start=attack_start,
+        attack_rate=attack_rate,
+        threshold=threshold,
+        throughput=throughput.samples,
+        ans_cpu=ans_cpu.samples,
+        baseline_throughput=baseline,
+        recovery_time=recovery_time,
+    )
+
+
+def format_containment(result: ContainmentResult) -> str:
+    lines = [
+        "Containment timeline: spoofed flood starts at "
+        f"t={result.attack_start:.2f}s ({result.attack_rate / 1000:.0f}K req/s, "
+        f"threshold {result.threshold / 1000:.0f}K)",
+        f"{'t (s)':>8} {'legit (K/s)':>12} {'ANS CPU %':>10}",
+    ]
+    cpu_by_time = {s.time: s.value for s in result.ans_cpu}
+    for sample in result.throughput:
+        marker = "  <- attack starts" if abs(
+            sample.time - result.attack_start - 0.05
+        ) < 1e-9 else ""
+        cpu = cpu_by_time.get(sample.time)
+        cpu_text = f"{cpu * 100:>10.0f}" if cpu is not None else f"{'':>10}"
+        lines.append(
+            f"{sample.time:>8.2f} {sample.value / 1000:>12.1f} {cpu_text}{marker}"
+        )
+    if result.contained:
+        lines.append(
+            f"legitimate throughput recovered to >=90% of baseline "
+            f"{result.recovery_time * 1000:.0f} ms after the attack began"
+        )
+    else:
+        lines.append("legitimate throughput never recovered (NOT contained)")
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(format_containment(run_containment()))

@@ -1,0 +1,162 @@
+"""A realistic guarded DNS hierarchy: root, com, foo.com and a real resolver.
+
+Unlike :class:`~repro.experiments.testbed.GuardTestbed` (which pairs load
+generators with a single protected server for throughput work), this builds
+the *full* name-resolution picture of the paper's Figure 1: a three-level
+delegation chain served by real authoritative servers, resolved by the real
+caching iterative resolver, with DNS guards optionally in front of the root
+(the NS-name referral scheme) and/or the leaf (the fabricated-NS/IP
+scheme).  Used by the transparency integration tests and the cookie-storage
+measurements of Table I.
+"""
+
+from __future__ import annotations
+
+from ipaddress import IPv4Address
+
+from ..dns import AuthoritativeServer, DnsCache, LocalRecursiveServer, Zone
+from ..dnswire import Name, RRType, soa_record
+from ..guard import CookieFactory, RemoteDnsGuard
+from ..netsim import Link, Node, Simulator
+
+ROOT_IP = IPv4Address("198.41.0.4")
+COM_IP = IPv4Address("192.5.6.30")
+FOO_IP = IPv4Address("203.0.113.53")
+LRS_IP = IPv4Address("10.0.0.53")
+WWW_IP = IPv4Address("198.51.100.80")
+FOO_COOKIE_SUBNET = "198.18.0.0/24"
+
+
+class GuardedHierarchy:
+    """root (optionally guarded), com, foo.com (optionally guarded) + LRS."""
+
+    def __init__(
+        self,
+        *,
+        guard_root: bool = True,
+        guard_foo: bool = False,
+        seed: int = 0,
+        link_delay: float = 0.0002,
+        extra_names: int = 0,
+    ):
+        """``extra_names`` adds ``hostN.foo.com`` records for storage and
+        workload experiments."""
+        self.sim = Simulator(seed=seed)
+        self.hub = Node(self.sim, "hub")
+        self.hub.add_address("10.255.255.1")
+        self._delay = link_delay
+
+        # plain servers and the resolver
+        self.com_node = self._attach(Node(self.sim, "com"), COM_IP)
+        self.foo_node = Node(self.sim, "foo")
+        self.lrs_node = self._attach(Node(self.sim, "lrs"), LRS_IP)
+
+        root_zone = Zone(".")
+        root_zone.add(soa_record("."))
+        root_zone.delegate("com.", "a.gtld-servers.net.", COM_IP)
+        com_zone = Zone("com.")
+        com_zone.add(soa_record("com."))
+        com_zone.delegate("foo.com.", "ns1.foo.com.", FOO_IP)
+        foo_zone = Zone("foo.com.")
+        foo_zone.add(soa_record("foo.com."))
+        foo_zone.add_a("www.foo.com.", WWW_IP)
+        foo_zone.add_a("mail.foo.com.", "198.51.100.25")
+        foo_zone.add_a("ns1.foo.com.", FOO_IP)
+        for index in range(extra_names):
+            foo_zone.add_a(f"host{index}.foo.com.", f"198.51.{index // 250}.{index % 250 + 1}")
+
+        self.root_node = Node(self.sim, "root")
+        self.root_guard = (
+            self._guard_inline(self.root_node, ROOT_IP, origin=".", cookie_subnet=None)
+            if guard_root
+            else None
+        )
+        if not guard_root:
+            self._attach(self.root_node, ROOT_IP)
+
+        self.foo_guard = (
+            self._guard_inline(
+                self.foo_node, FOO_IP, origin="foo.com.", cookie_subnet=FOO_COOKIE_SUBNET
+            )
+            if guard_foo
+            else None
+        )
+        if not guard_foo:
+            self._attach(self.foo_node, FOO_IP)
+
+        self.root = AuthoritativeServer(self.root_node, [root_zone])
+        self.com = AuthoritativeServer(self.com_node, [com_zone])
+        self.foo = AuthoritativeServer(self.foo_node, [foo_zone])
+        self.lrs = LocalRecursiveServer(self.lrs_node, [ROOT_IP], timeout=1.0)
+
+    # -- construction helpers ----------------------------------------------------
+
+    def _attach(self, node: Node, ip: IPv4Address | str, delay: float | None = None) -> Node:
+        node.add_address(ip)
+        link = Link(self.sim, node, self.hub, delay=delay or self._delay)
+        node.set_default_route(link)
+        self.hub.add_route(f"{ip}/32", link)
+        return node
+
+    def _guard_inline(
+        self, server_node: Node, server_ip: IPv4Address, *, origin: str,
+        cookie_subnet: str | None,
+    ) -> RemoteDnsGuard:
+        """Insert a guard node between the hub and ``server_node``."""
+        guard_node = Node(self.sim, f"guard-{origin}")
+        guard_node.add_address(IPv4Address(int(server_ip) - 1))
+        uplink = Link(self.sim, guard_node, self.hub, delay=self._delay)
+        guard_node.set_default_route(uplink)
+        self.hub.add_route(f"{server_ip}/32", uplink)
+        if cookie_subnet is not None:
+            self.hub.add_route(cookie_subnet, uplink)
+        server_node.add_address(server_ip)
+        inner = Link(self.sim, guard_node, server_node, delay=0.00001)
+        guard_node.add_route(f"{server_ip}/32", inner)
+        server_node.set_default_route(inner)
+        return RemoteDnsGuard(
+            guard_node,
+            server_ip,
+            origin=origin,
+            cookie_factory=CookieFactory(),
+            cookie_subnet=cookie_subnet,
+            policy="dns",
+        )
+
+    # -- operation -----------------------------------------------------------------
+
+    def resolve(self, name: str, qtype: int = RRType.A, run_for: float = 30.0):
+        """Resolve synchronously on the virtual clock; returns the result."""
+        results = []
+        self.lrs.resolve(name, qtype, results.append)
+        self.sim.run(until=self.sim.now + run_for)
+        if not results:
+            raise RuntimeError(f"resolution of {name} never completed")
+        return results[0]
+
+    # -- measurements ---------------------------------------------------------------
+
+    def fabricated_cache_entries(self) -> int:
+        """Resolver-cache entries referring to the guards' fabricated
+        namespace — the 'Cookie Storage' column of Table I, measured.
+
+        Counts both records *named* by a cookie label (the fabricated A
+        records) and NS rrsets whose target is a cookie name.
+        """
+        from ..dnswire import NS
+
+        def has_cookie_label(name: Name) -> bool:
+            # case-insensitive: DNS-0x20 resolvers cache mixed-case names
+            return any(label[:2].upper() == b"PR" for label in name.labels)
+
+        count = 0
+        for (name, rtype), entry in list(self.lrs.cache._entries.items()):
+            if has_cookie_label(name):
+                count += 1
+                continue
+            if rtype == RRType.NS and any(
+                isinstance(rr.rdata, NS) and has_cookie_label(rr.rdata.target)
+                for rr in entry.records
+            ):
+                count += 1
+        return count

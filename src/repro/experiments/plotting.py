@@ -1,0 +1,149 @@
+"""Terminal (ASCII) plotting for the reproduced figures.
+
+No plotting dependency is available offline, so the figures render as
+Unicode charts good enough to eyeball the shapes the paper plots: the
+protection-on plateau of Figure 6, the collapse knee of Figure 5, the
+TCP proxy's decline in Figure 7.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+#: Characters from empty to full, used for bar fills.
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def _format_number(value: float) -> str:
+    if value >= 1000:
+        return f"{value / 1000:.1f}K"
+    if value >= 1:
+        return f"{value:.1f}"
+    return f"{value:.2f}"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    title: str = "",
+    width: int = 50,
+    max_value: float | None = None,
+) -> str:
+    """A horizontal bar chart, one row per (label, value)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not values:
+        return title
+    peak = max_value if max_value is not None else max(values)
+    peak = peak or 1.0
+    label_width = max(len(str(label)) for label in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        filled = min(value / peak, 1.0) * width
+        whole = int(filled)
+        fraction = filled - whole
+        bar = "█" * whole
+        if fraction > 0 and whole < width:
+            bar += _BLOCKS[int(fraction * (len(_BLOCKS) - 1))]
+        lines.append(f"{str(label):>{label_width}} │{bar:<{width}} {_format_number(value)}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    *,
+    title: str = "",
+    width: int = 60,
+    height: int = 12,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Multiple series plotted on one character grid, markers per series."""
+    if not xs or not series:
+        return title
+    markers = "●○▲△■□◆◇"
+    all_y = [y for ys in series.values() for y in ys]
+    y_max = max(all_y) or 1.0
+    y_min = 0.0
+    x_min, x_max = min(xs), max(xs)
+    x_span = (x_max - x_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, ys) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for x, y in zip(xs, ys):
+            col = int((x - x_min) / x_span * (width - 1))
+            row = height - 1 - int((y - y_min) / (y_max - y_min or 1.0) * (height - 1))
+            row = min(max(row, 0), height - 1)
+            grid[row][col] = marker
+
+    lines = [title] if title else []
+    if y_label:
+        lines.append(y_label)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            axis_value = _format_number(y_max)
+        elif row_index == height - 1:
+            axis_value = _format_number(y_min)
+        else:
+            axis_value = ""
+        lines.append(f"{axis_value:>8} ┤{''.join(row)}")
+    lines.append(f"{'':>8} └" + "─" * width)
+    x_axis = f"{_format_number(x_min)}{_format_number(x_max):>{width - 4}}"
+    lines.append(f"{'':>10}{x_axis}")
+    if x_label:
+        lines.append(f"{'':>10}{x_label:^{width}}")
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(f"{'':>10}{legend}")
+    return "\n".join(lines)
+
+
+def plot_fig5(points) -> str:
+    """Figure 5(a) as a line chart."""
+    on = sorted((p for p in points if p.protection), key=lambda p: p.attack_rate)
+    off = sorted((p for p in points if not p.protection), key=lambda p: p.attack_rate)
+    xs = [p.attack_rate / 1000 for p in on]
+    return line_chart(
+        xs,
+        {
+            "guard on": [p.legit_throughput for p in on],
+            "guard off": [p.legit_throughput for p in off],
+        },
+        title="Figure 5(a): legitimate throughput (req/s) vs attack rate (K req/s)",
+        x_label="attack rate (K req/s)",
+    )
+
+
+def plot_fig6(points) -> str:
+    """Figure 6(a) as a line chart."""
+    on = sorted((p for p in points if p.protection), key=lambda p: p.attack_rate)
+    off = sorted((p for p in points if not p.protection), key=lambda p: p.attack_rate)
+    xs = [p.attack_rate / 1000 for p in on]
+    return line_chart(
+        xs,
+        {
+            "guard on": [p.legit_throughput / 1000 for p in on],
+            "guard off": [p.legit_throughput / 1000 for p in off],
+        },
+        title="Figure 6(a): legitimate throughput (K req/s) vs attack rate (K req/s)",
+        x_label="attack rate (K req/s)",
+    )
+
+
+def plot_fig7(series_a, series_b) -> str:
+    """Both Figure 7 panels as bar charts."""
+    chart_a = bar_chart(
+        [str(p.concurrency) for p in series_a],
+        [p.throughput / 1000 for p in series_a],
+        title="Figure 7(a): TCP proxy throughput (K req/s) by concurrent requests",
+    )
+    chart_b = bar_chart(
+        [f"{p.attack_rate / 1000:.0f}K" for p in series_b],
+        [p.throughput / 1000 for p in series_b],
+        title="Figure 7(b): TCP proxy throughput (K req/s) by attack rate",
+    )
+    return chart_a + "\n\n" + chart_b

@@ -1,0 +1,115 @@
+"""Table II: average DNS request latency per scheme, cache miss vs hit.
+
+Paper setup: the requesting LRS reaches the ANS over a cable-modem path
+with a 10.9 ms RTT.  Expected multiples of the RTT:
+
+=============  =====  ====
+scheme         miss   hit
+=============  =====  ====
+NS name        2x     1x
+fabricated     3x     1x
+TCP-based      3x     3x
+modified DNS   2x     1x
+=============  =====  ====
+
+(paper measurements: 21.0/32.1/34.5/22.4 ms miss, 11.1/11.3/33.7/10.8 ms hit)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..dns import LrsSimulator
+from .testbed import ANS_ADDRESS, GuardTestbed
+
+SCHEMES = ("ns_name", "fabricated", "tcp", "modified")
+
+#: The paper's measured values (milliseconds), for side-by-side reporting.
+PAPER_MS = {
+    "ns_name": {"miss": 21.0, "hit": 11.1},
+    "fabricated": {"miss": 32.1, "hit": 11.3},
+    "tcp": {"miss": 34.5, "hit": 33.7},
+    "modified": {"miss": 22.4, "hit": 10.8},
+}
+
+
+@dataclasses.dataclass(slots=True)
+class LatencyRow:
+    scheme: str
+    miss_ms: float
+    hit_ms: float
+    paper_miss_ms: float
+    paper_hit_ms: float
+
+
+def _build(scheme: str, seed: int):
+    """Testbed + WAN client + load generator for one scheme."""
+    if scheme == "ns_name":
+        bed = GuardTestbed(seed=seed, ans="simulator", ans_mode="referral")
+        client = bed.add_client("lrs", wan=True)
+        lrs = LrsSimulator(client, ANS_ADDRESS, workload="referral", timeout=0.2)
+    elif scheme == "fabricated":
+        bed = GuardTestbed(seed=seed, ans="simulator", ans_mode="answer")
+        client = bed.add_client("lrs", wan=True)
+        lrs = LrsSimulator(client, ANS_ADDRESS, workload="nonreferral", timeout=0.2)
+    elif scheme == "tcp":
+        bed = GuardTestbed(seed=seed, ans="simulator", ans_mode="answer", guard_policy="tcp")
+        client = bed.add_client("lrs", wan=True)
+        lrs = LrsSimulator(client, ANS_ADDRESS, workload="plain", timeout=0.2)
+    elif scheme == "modified":
+        bed = GuardTestbed(seed=seed, ans="simulator", ans_mode="answer")
+        client = bed.add_client("lrs", wan=True, via_local_guard=True)
+        lrs = LrsSimulator(client, ANS_ADDRESS, workload="plain", timeout=0.2)
+    else:
+        raise ValueError(f"unknown scheme {scheme!r}")
+    return bed, lrs
+
+
+def measure_scheme(scheme: str, *, seed: int = 0, iterations: int = 12) -> tuple[float, float]:
+    """(cache-miss ms, cache-hit ms) for one scheme."""
+    bed, lrs = _build(scheme, seed)
+    lrs.record_latencies = True
+    lrs.start()
+    # WAN RTT is ~11 ms; give each iteration up to 4 RTTs
+    bed.run(iterations * 0.05)
+    lrs.stop()
+    latencies = lrs.latencies
+    if len(latencies) < 4:
+        raise RuntimeError(f"scheme {scheme}: only {len(latencies)} samples")
+    miss = latencies[0] * 1000.0
+    hits = latencies[2:]
+    hit = sum(hits) / len(hits) * 1000.0
+    return miss, hit
+
+
+def run_table2(seed: int = 0) -> list[LatencyRow]:
+    rows = []
+    for scheme in SCHEMES:
+        miss, hit = measure_scheme(scheme, seed=seed)
+        rows.append(
+            LatencyRow(
+                scheme=scheme,
+                miss_ms=miss,
+                hit_ms=hit,
+                paper_miss_ms=PAPER_MS[scheme]["miss"],
+                paper_hit_ms=PAPER_MS[scheme]["hit"],
+            )
+        )
+    return rows
+
+
+def format_table2(rows: list[LatencyRow]) -> str:
+    lines = [
+        "Table II: average DNS request latency (msec); RTT = 10.9 msec",
+        f"{'scheme':<12} {'miss':>8} {'paper':>8}   {'hit':>8} {'paper':>8}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.scheme:<12} {row.miss_ms:>8.1f} {row.paper_miss_ms:>8.1f}   "
+            f"{row.hit_ms:>8.1f} {row.paper_hit_ms:>8.1f}"
+        )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(format_table2(run_table2()))

@@ -1,0 +1,73 @@
+"""The DNS guard: cookie-based spoof detection for DNS servers.
+
+The package implements the paper's three schemes behind one inline
+middlebox (:class:`RemoteDnsGuard`) plus the LRS-side
+:class:`LocalDnsGuard` that makes unmodified resolvers cookie-capable.
+"""
+
+from .cookie import (
+    CookieFactory,
+    KEY_LENGTH,
+    LABEL_COOKIE_LENGTH,
+    LABEL_PREFIX,
+    random_key,
+)
+from .costs import GuardCosts
+from .dns_scheme import (
+    FABRICATED_NS_TTL,
+    CookieName,
+    cookie_name_answer,
+    decode_cookie_name,
+    delegation_owner,
+    encode_cookie_name,
+    fabricated_referral,
+)
+from .local_guard import DEFAULT_COOKIE_TTL, LocalDnsGuard
+from .pipeline import RemoteDnsGuard
+from .rfc7873 import (
+    EdnsCookieClientShim,
+    EdnsCookieGuard,
+    EdnsCookieServer,
+    attach_edns_cookie,
+    extract_edns_cookie,
+    strip_edns_cookie,
+)
+from .ratelimit import (
+    RateEstimator,
+    TokenBucket,
+    TopRequesterTracker,
+    UnverifiedResponseLimiter,
+    VerifiedRequestLimiter,
+)
+from .tcp_scheme import TcpProxy
+
+__all__ = [
+    "CookieFactory",
+    "CookieName",
+    "DEFAULT_COOKIE_TTL",
+    "EdnsCookieClientShim",
+    "EdnsCookieGuard",
+    "EdnsCookieServer",
+    "FABRICATED_NS_TTL",
+    "GuardCosts",
+    "KEY_LENGTH",
+    "LABEL_COOKIE_LENGTH",
+    "LABEL_PREFIX",
+    "LocalDnsGuard",
+    "RateEstimator",
+    "RemoteDnsGuard",
+    "TcpProxy",
+    "TokenBucket",
+    "TopRequesterTracker",
+    "UnverifiedResponseLimiter",
+    "VerifiedRequestLimiter",
+    "attach_edns_cookie",
+    "cookie_name_answer",
+    "extract_edns_cookie",
+    "strip_edns_cookie",
+    "decode_cookie_name",
+    "delegation_owner",
+    "encode_cookie_name",
+    "fabricated_referral",
+    "random_key",
+]

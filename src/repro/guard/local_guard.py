@@ -1,0 +1,239 @@
+"""The local DNS guard: the LRS-side half of the modified-DNS scheme (§III.D).
+
+Deployed inline in front of an unmodified LRS, it makes the LRS
+cookie-capable without touching its software:
+
+* outbound DNS queries are held while the guard fetches the destination
+  server's cookie (message 2: the same question with an all-zero cookie,
+  sized identically to the grant so there is no amplification), then
+  released with the cookie attached (message 4);
+* once a cookie is cached (keyed by server *and* client address, since the
+  cookie binds to the source IP), queries flow through with one in-place
+  modification and zero extra round trips;
+* inbound cookie grants are consumed; all other responses pass untouched.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+from ipaddress import IPv4Address
+
+from ..dnswire import (
+    Message,
+    attach_cookie,
+    extract_cookie,
+    ZERO_COOKIE,
+)
+from ..netsim import DnsPayload, Link, Node, Packet, UdpDatagram
+
+#: How long a fetched cookie stays cached (the paper's one-week rotation).
+DEFAULT_COOKIE_TTL = 7 * 24 * 3600.0
+
+#: How long held queries wait for a cookie grant before being dropped.
+PENDING_TIMEOUT = 2.0
+
+#: How long the guard remembers that a server answered a cookie probe with a
+#: plain response (i.e. no remote guard is filtering) before probing again.
+UNCOOKIED_TTL = 5.0
+
+#: Minimum spacing between cookie probes for the same (server, client) pair
+#: while queries are held — a lost grant must not deadlock the queue.
+PROBE_RETRY_INTERVAL = 0.1
+
+_CacheKey = tuple[IPv4Address, IPv4Address]  # (server, client)
+
+
+@dataclasses.dataclass(slots=True)
+class _CachedCookie:
+    cookie: bytes
+    expires_at: float
+
+
+class LocalDnsGuard:
+    """Inline middlebox adding modified-DNS cookies for the LRS behind it."""
+
+    def __init__(
+        self,
+        node: Node,
+        *,
+        cookie_ttl: float = DEFAULT_COOKIE_TTL,
+        cache_cookies: bool = True,
+    ):
+        """``cache_cookies=False`` fetches a fresh cookie for every query —
+        the worst-case ("cache miss") behaviour measured in Table III."""
+        self.node = node
+        self.cookie_ttl = cookie_ttl
+        self.cache_cookies = cache_cookies
+        self._cookies: dict[_CacheKey, _CachedCookie] = {}
+        self._held: dict[_CacheKey, list[tuple[Packet, UdpDatagram, float]]] = {}
+        #: servers observed answering probes without a cookie grant — no
+        #: remote guard is present there, so queries pass through unchanged
+        self._uncookied: dict[_CacheKey, float] = {}
+        self._last_probe: dict[_CacheKey, float] = {}
+        self.cookies_cached = 0
+        self.queries_stamped = 0
+        self.queries_held = 0
+        self.held_dropped = 0
+        node.transit_filter = self._transit
+        self._sweeper = node.sim.schedule(1.0, self._sweep)
+
+    # -- transit hook -----------------------------------------------------------
+
+    def _transit(self, packet: Packet, link: Link) -> str:
+        segment = packet.segment
+        if not isinstance(segment, UdpDatagram):
+            return "forward"
+        payload = segment.payload
+        if not isinstance(payload, DnsPayload):
+            return "forward"
+        message = payload.message
+        if segment.dport == 53 and message.is_query():
+            return self._outbound_query(packet, segment, message)
+        if segment.sport == 53 and message.is_response():
+            return self._inbound_response(packet, segment, message)
+        return "forward"
+
+    # -- outbound ---------------------------------------------------------------
+
+    def _outbound_query(
+        self, packet: Packet, datagram: UdpDatagram, message: Message
+    ) -> str:
+        if extract_cookie(message) is not None:
+            return "forward"  # already cookie-capable upstream of us
+        now = self.node.sim.now
+        key = (packet.dst, packet.src)
+        if self._uncookied.get(key, 0.0) > now:
+            return "forward"  # that server has no remote guard
+        if self.cache_cookies:
+            cached = self._cookies.get(key)
+            if cached is not None and cached.expires_at > now:
+                self._send_with_cookie(packet, datagram, message, cached.cookie)
+                self.queries_stamped += 1
+                return "drop"
+        # no (usable) cookie: hold the query and ask for one.  Probes are
+        # re-sent if the previous one (or its grant) was lost.
+        queue = self._held.setdefault(key, [])
+        queue.append((packet, datagram, now + PENDING_TIMEOUT))
+        self.queries_held += 1
+        probe_due = now - self._last_probe.get(key, -1.0) >= PROBE_RETRY_INTERVAL
+        if len(queue) == 1 or probe_due or not self.cache_cookies:
+            self._last_probe[key] = now
+            self._request_cookie(packet, datagram, message)
+        return "drop"
+
+    def _send_with_cookie(
+        self, packet: Packet, datagram: UdpDatagram, message: Message, cookie: bytes
+    ) -> None:
+        stamped = copy.copy(message)
+        stamped.additionals = list(message.additionals)
+        attach_cookie(stamped, cookie)
+        self.node.send(
+            Packet(
+                src=packet.src,
+                dst=packet.dst,
+                segment=UdpDatagram(datagram.sport, datagram.dport, DnsPayload(stamped)),
+            )
+        )
+
+    def _request_cookie(
+        self, packet: Packet, datagram: UdpDatagram, message: Message
+    ) -> None:
+        """Message 2: the original question carrying an all-zero cookie."""
+        probe = copy.copy(message)
+        probe.additionals = list(message.additionals)
+        attach_cookie(probe, ZERO_COOKIE)
+        self.node.send(
+            Packet(
+                src=packet.src,
+                dst=packet.dst,
+                segment=UdpDatagram(datagram.sport, datagram.dport, DnsPayload(probe)),
+            )
+        )
+
+    # -- inbound ----------------------------------------------------------------
+
+    def _inbound_response(
+        self, packet: Packet, datagram: UdpDatagram, message: Message
+    ) -> str:
+        cookie = extract_cookie(message)
+        if cookie is None or cookie == ZERO_COOKIE:
+            self._note_plain_response(packet, message)
+            return "forward"
+        # a cookie grant (message 3): cache it and release held queries
+        now = self.node.sim.now
+        key = (packet.src, packet.dst)
+        if self.cache_cookies:
+            self._cookies[key] = _CachedCookie(cookie, now + self.cookie_ttl)
+            self.cookies_cached += 1
+            released = self._held.pop(key, [])
+        else:
+            # per-query cookies: release exactly the oldest held query
+            queue = self._held.get(key, [])
+            released = [queue.pop(0)] if queue else []
+            if not queue:
+                self._held.pop(key, None)
+        for held_packet, held_datagram, deadline in released:
+            if deadline > now:
+                held_message = held_datagram.payload.message  # type: ignore[union-attr]
+                self._send_with_cookie(held_packet, held_datagram, held_message, cookie)
+                self.queries_stamped += 1
+            else:
+                self.held_dropped += 1
+        return "drop"
+
+    def _note_plain_response(self, packet: Packet, message: Message) -> None:
+        """A cookie probe was answered *without* a grant: the server has no
+        remote guard.  Remember that and release held queries unchanged."""
+        key = (packet.src, packet.dst)
+        queue = self._held.get(key)
+        if not queue:
+            return
+        if not any(
+            item[1].payload.message.header.msg_id == message.header.msg_id  # type: ignore[union-attr]
+            for item in queue
+        ):
+            return
+        now = self.node.sim.now
+        self._uncookied[key] = now + UNCOOKIED_TTL
+        for held_packet, held_datagram, deadline in self._held.pop(key):
+            # the probe's answer already satisfies the matching query; only
+            # re-send the others, unmodified
+            held_message = held_datagram.payload.message  # type: ignore[union-attr]
+            if held_message.header.msg_id == message.header.msg_id:
+                continue
+            if deadline > now:
+                self.node.send(
+                    Packet(src=held_packet.src, dst=held_packet.dst, segment=held_datagram)
+                )
+            else:
+                self.held_dropped += 1
+
+    # -- maintenance --------------------------------------------------------------
+
+    def _sweep(self) -> None:
+        now = self.node.sim.now
+        for key, queue in list(self._held.items()):
+            live = [item for item in queue if item[2] > now]
+            self.held_dropped += len(queue) - len(live)
+            if live:
+                self._held[key] = live
+            else:
+                del self._held[key]
+                # the grant was lost: retry on the next query
+        expired = [key for key, entry in self._cookies.items() if entry.expires_at <= now]
+        for key in expired:
+            del self._cookies[key]
+        stale = [key for key, deadline in self._uncookied.items() if deadline <= now]
+        for key in stale:
+            del self._uncookied[key]
+        self._sweeper = self.node.sim.schedule(1.0, self._sweep)
+
+    def cached_cookie(self, server: IPv4Address, client: IPv4Address) -> bytes | None:
+        entry = self._cookies.get((server, client))
+        if entry is None or entry.expires_at <= self.node.sim.now:
+            return None
+        return entry.cookie
+
+    def flush(self) -> None:
+        self._cookies.clear()

@@ -1,0 +1,574 @@
+"""The remote DNS guard: the Figure-4 pipeline as an inline middlebox.
+
+The guard is a bump-in-the-wire router between the Internet and the
+protected ANS.  Every packet crossing it goes through ``_transit``:
+
+* **plain UDP queries** (no cookie anywhere) get an *unverified* response —
+  a fabricated cookie referral (DNS-based scheme) or a TC=1 redirect
+  (TCP-based scheme), chosen by the per-source ``policy`` — rate-limited by
+  Rate-Limiter1 so the ANS cannot amplify traffic toward spoofed victims;
+* **cookie-bearing queries** (modified-DNS TXT extension, cookie-label
+  QNAMEs, or queries to fabricated COOKIE2 addresses) are verified with one
+  MD5; failures are dropped on the floor, successes pass Rate-Limiter2 and
+  reach the ANS;
+* **TCP** to the ANS is terminated by the transparent proxy
+  (:mod:`.tcp_scheme`);
+* **ANS responses** flow back through the guard, which rewrites the ones
+  belonging to fabricated-namespace exchanges (message 5 → message 6,
+  message 9 → message 10) and forwards the rest untouched.
+
+All three schemes run simultaneously; requesters self-select by what their
+queries carry.  Spoof detection engages only above ``activation_threshold``
+requests/sec (None = always on), matching §IV.C's advice to enable checking
+only when the offered load exceeds the ANS's capacity.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+from ipaddress import IPv4Address, IPv4Network
+from typing import Callable, Literal
+
+from ..dnswire import (
+    Message,
+    Name,
+    ResourceRecord,
+    attach_cookie,
+    extract_cookie,
+    make_query,
+    make_response,
+    make_truncated_response,
+    strip_cookie,
+    RRType,
+    ZERO_COOKIE,
+)
+from ..netsim import DnsPayload, Link, Node, Packet, RoutingError, UdpDatagram
+from .cookie import CookieFactory
+from .costs import GuardCosts
+from .dns_scheme import (
+    FABRICATED_NS_TTL,
+    cookie_name_answer,
+    decode_cookie_name,
+    fabricated_referral,
+)
+from .ratelimit import (
+    RateEstimator,
+    UnverifiedResponseLimiter,
+    VerifiedRequestLimiter,
+)
+from .tcp_scheme import TcpProxy
+
+Policy = Literal["dns", "tcp", "forward", "drop"]
+
+
+@dataclasses.dataclass(slots=True)
+class _Pending:
+    """State for one in-flight exchange awaiting the ANS's response."""
+
+    kind: str  # "cookie-name" | "dnat"
+    cookie_qname: Name | None
+    rewrite_source: IPv4Address | None
+    original_qname: Name
+    qtype: int
+    expires_at: float
+
+
+@dataclasses.dataclass(slots=True)
+class _CachedAnswer:
+    records: list[ResourceRecord]
+    expires_at: float
+
+
+class RemoteDnsGuard:
+    """The DNS guard deployed in front of an authoritative name server."""
+
+    def __init__(
+        self,
+        node: Node,
+        ans_address: IPv4Address,
+        *,
+        origin: Name | str = ".",
+        cookie_factory: CookieFactory | None = None,
+        costs: GuardCosts | None = None,
+        cookie_subnet: IPv4Network | str | None = None,
+        policy: Policy | Callable[[IPv4Address], Policy] = "dns",
+        activation_threshold: float | None = None,
+        enabled: bool = True,
+        rl1: UnverifiedResponseLimiter | None = None,
+        rl2: VerifiedRequestLimiter | None = None,
+        ns_ttl: int = FABRICATED_NS_TTL,
+        pending_timeout: float = 2.0,
+        answer_cache_ttl: float = 0.1,
+        enable_tcp_proxy: bool = True,
+    ):
+        self.node = node
+        self.ans_address = ans_address
+        self.origin = Name.from_text(origin) if isinstance(origin, str) else origin
+        self.cookies = cookie_factory if cookie_factory is not None else CookieFactory()
+        self.costs = costs if costs is not None else GuardCosts()
+        self.cookie_subnet = (
+            IPv4Network(cookie_subnet) if isinstance(cookie_subnet, str) else cookie_subnet
+        )
+        self._policy = policy
+        self.activation_threshold = activation_threshold
+        self.enabled = enabled
+        self.rl1 = rl1 if rl1 is not None else UnverifiedResponseLimiter()
+        self.rl2 = rl2 if rl2 is not None else VerifiedRequestLimiter()
+        self.ns_ttl = ns_ttl
+        self.pending_timeout = pending_timeout
+        self.answer_cache_ttl = answer_cache_ttl
+        self.estimator = RateEstimator()
+        self._pending: dict[tuple[IPv4Address, int, int], _Pending] = {}
+        self._answer_cache: dict[tuple[Name, int], _CachedAnswer] = {}
+        # counters
+        self.queries_seen = 0
+        self.cookies_granted = 0
+        self.referrals_fabricated = 0
+        self.truncations_sent = 0
+        self.valid_cookies = 0
+        self.invalid_drops = 0
+        self.rl1_drops = 0
+        self.rl2_drops = 0
+        self.overload_drops = 0
+        self.responses_transformed = 0
+        self.forwarded_inactive = 0
+        self.unroutable_replies = 0
+
+        node.transit_filter = self._transit
+        node.forward_cost = self.costs.forward
+        self.tcp_proxy = TcpProxy(self) if enable_tcp_proxy else None
+        self._sweeper = node.sim.schedule(1.0, self._sweep)
+
+    # -- policy & activation ---------------------------------------------------------
+
+    def policy_for(self, source: IPv4Address) -> Policy:
+        if callable(self._policy):
+            return self._policy(source)
+        return self._policy
+
+    def is_active(self, now: float) -> bool:
+        """Whether spoof detection is currently engaged."""
+        if not self.enabled:
+            return False
+        if self.activation_threshold is None:
+            return True
+        return self.estimator.rate_now(now) > self.activation_threshold
+
+    @property
+    def cookie_host_range(self) -> int:
+        """R_y: usable host addresses in the fabricated-IP subnet."""
+        if self.cookie_subnet is None:
+            return 0
+        return max(self.cookie_subnet.num_addresses - 2, 0)
+
+    def cookie2_address(self, source: IPv4Address) -> IPv4Address | None:
+        """The fabricated COOKIE2 address for ``source``."""
+        r_y = self.cookie_host_range
+        if r_y <= 0:
+            return None
+        y = self.cookies.ip_cookie(source, r_y)
+        return IPv4Address(int(self.cookie_subnet.network_address) + 1 + y)
+
+    # -- transit hook ---------------------------------------------------------------
+
+    def _transit(self, packet: Packet, link: Link) -> str:
+        segment = packet.segment
+        if isinstance(segment, UdpDatagram):
+            return self._transit_udp(packet, segment)
+        # TCP: terminate connections aimed at the protected ANS when active
+        if packet.dst == self.ans_address and segment.dport == 53:
+            if self.tcp_proxy is not None and self.enabled:
+                return "deliver"
+            return "forward"
+        if packet.src == self.ans_address:
+            return "forward"
+        # TCP already terminated here continues to arrive addressed to the
+        # ANS; anything else is unrelated transit
+        return "forward"
+
+    def _transit_udp(self, packet: Packet, datagram: UdpDatagram) -> str:
+        if not self.enabled:
+            # hard-disabled (the paper's "protection disabled" baseline):
+            # the guard is nothing but a router
+            return "forward"
+        # responses coming back from the ANS
+        if packet.src == self.ans_address and datagram.sport == 53:
+            return self._handle_ans_response(packet, datagram)
+        # queries toward the protected server or the fabricated subnet
+        to_ans = packet.dst == self.ans_address and datagram.dport == 53
+        to_cookie_subnet = (
+            self.cookie_subnet is not None
+            and packet.dst in self.cookie_subnet
+            and datagram.dport == 53
+        )
+        if not (to_ans or to_cookie_subnet):
+            return "forward"
+        now = self.node.sim.now
+        self.queries_seen += 1
+        self.estimator.observe(now)
+        active = self.is_active(now)
+        payload = datagram.payload
+        if not isinstance(payload, DnsPayload):
+            # not parseable as DNS at all
+            if active:
+                self._charge(self.costs.drop_invalid)
+                self.invalid_drops += 1
+                return "drop"
+            self.forwarded_inactive += 1
+            return "forward"
+        message = payload.message
+        if not message.is_query() or not message.questions:
+            if active:
+                self._charge(self.costs.drop_invalid)
+                self.invalid_drops += 1
+                return "drop"
+            self.forwarded_inactive += 1
+            return "forward"
+        # the guard's fabricated namespace (cookie grants, cookie-name
+        # queries, COOKIE2 addresses) is served regardless of activation —
+        # clients hold long-TTL references into it; only *challenges* to
+        # plain queries and *drops* of invalid cookies are gated by the
+        # activation threshold (handled inside the handlers via `active`)
+        if to_cookie_subnet:
+            self._handle_cookie2_query(packet, datagram, message, active)
+            return "drop"
+        return self._handle_ans_query(packet, datagram, message, active)
+
+    # -- query paths -------------------------------------------------------------------
+
+    def _handle_ans_query(
+        self, packet: Packet, datagram: UdpDatagram, message: Message, active: bool = True
+    ) -> str:
+        now = self.node.sim.now
+        src = packet.src
+
+        cookie = extract_cookie(message)
+        if cookie is not None:
+            # modified-DNS scheme
+            if cookie == ZERO_COOKIE:
+                self._grant_cookie(packet, datagram, message)
+                return "drop"
+            if self.cookies.verify(cookie, src):
+                self.valid_cookies += 1
+                if active and not self.rl2.allow(src, now):
+                    self.rl2_drops += 1
+                    return "drop"
+                self._strip_and_forward(packet, datagram, message)
+                return "drop"
+            if active:
+                self.invalid_drops += 1
+                self._charge(self.costs.drop_invalid)
+                return "drop"
+            # no detection while inactive: pass it through, cookie stripped
+            self._strip_and_forward(packet, datagram, message)
+            return "drop"
+
+        decoded = decode_cookie_name(
+            message.question.qname,
+            self.origin,
+            cookie_length=self.cookies.label_cookie_length,
+        )
+        if decoded is not None:
+            # DNS-based scheme, message 3: the fabricated namespace must be
+            # served even while inactive — clients cache these names with
+            # long TTLs — but verification only gates it while active
+            if not active or self.cookies.verify_label(decoded.cookie_label, src):
+                if active:
+                    self.valid_cookies += 1
+                    if not self.rl2.allow(src, now):
+                        self.rl2_drops += 1
+                        return "drop"
+                self._restore_and_forward(packet, datagram, message, decoded)
+                return "drop"
+            self.invalid_drops += 1
+            self._charge(self.costs.drop_invalid)
+            return "drop"
+
+        # plain query from an unverified requester: only challenged while
+        # detection is engaged
+        if not active:
+            self.forwarded_inactive += 1
+            return "forward"
+        action = self.policy_for(src)
+        if action == "forward":
+            self._submit(self.costs.forward, self._safe_send, packet)
+            return "drop"
+        if action == "drop":
+            # the cookie/label checks above already ran, so a policy drop
+            # still costs a verification's worth of CPU
+            self.invalid_drops += 1
+            self._charge(self.costs.drop_invalid)
+            return "drop"
+        if not self.rl1.allow(src, now):
+            self.rl1_drops += 1
+            self._charge(self.costs.per_packet)
+            return "drop"
+        if action == "dns":
+            label = self.cookies.label_cookie(src)
+            reply = fabricated_referral(message, self.origin, label, ttl=self.ns_ttl)
+            if reply is not None:
+                self.referrals_fabricated += 1
+                self._submit(
+                    self.costs.fabricate_response,
+                    self._send_udp,
+                    reply,
+                    src,
+                    datagram.sport,
+                    packet.dst,
+                )
+                return "drop"
+            # name does not fit in a cookie label: fall back to TCP
+        self.truncations_sent += 1
+        self._submit(
+            self.costs.truncate_response,
+            self._send_udp,
+            make_truncated_response(message),
+            src,
+            datagram.sport,
+            packet.dst,
+        )
+        return "drop"
+
+    def _grant_cookie(self, packet: Packet, datagram: UdpDatagram, message: Message) -> None:
+        """Messages 2 -> 3 of Figure 3a: answer with the requester's cookie."""
+        now = self.node.sim.now
+        if not self.rl1.allow(packet.src, now):
+            self.rl1_drops += 1
+            self._charge(self.costs.per_packet)
+            return
+        grant = make_response(message)
+        attach_cookie(grant, self.cookies.cookie(packet.src))
+        self.cookies_granted += 1
+        self._submit(
+            self.costs.fabricate_response,
+            self._send_udp,
+            grant,
+            packet.src,
+            datagram.sport,
+            packet.dst,
+        )
+
+    def _strip_and_forward(
+        self, packet: Packet, datagram: UdpDatagram, message: Message
+    ) -> None:
+        """Validated modified-DNS query: remove the cookie, pass to the ANS."""
+        clean = copy.copy(message)
+        clean.additionals = list(message.additionals)
+        strip_cookie(clean)
+        forwarded = Packet(
+            src=packet.src,
+            dst=packet.dst,
+            segment=UdpDatagram(datagram.sport, datagram.dport, DnsPayload(clean)),
+        )
+        self._submit(self.costs.validate_and_forward, self._safe_send, forwarded)
+
+    def _restore_and_forward(
+        self, packet: Packet, datagram: UdpDatagram, message: Message, decoded
+    ) -> None:
+        """Message 3 -> 4: restore the original question toward the ANS."""
+        key = (packet.src, datagram.sport, message.header.msg_id)
+        self._pending[key] = _Pending(
+            kind="cookie-name",
+            cookie_qname=message.question.qname,
+            rewrite_source=None,
+            original_qname=decoded.original_qname,
+            qtype=message.question.qtype,
+            expires_at=self.node.sim.now + self.pending_timeout,
+        )
+        restored = make_query(
+            decoded.original_qname, message.question.qtype, msg_id=message.header.msg_id
+        )
+        forwarded = Packet(
+            src=packet.src,
+            dst=self.ans_address,
+            segment=UdpDatagram(datagram.sport, 53, DnsPayload(restored)),
+        )
+        self._submit(self.costs.validate_and_forward, self._safe_send, forwarded)
+
+    def _handle_cookie2_query(
+        self, packet: Packet, datagram: UdpDatagram, message: Message, active: bool = True
+    ) -> None:
+        """Message 7: a query addressed to a fabricated COOKIE2 address.
+
+        Served regardless of activation (clients cache COOKIE2 addresses
+        with long TTLs); the cookie check and rate limit apply while active.
+        """
+        now = self.node.sim.now
+        r_y = self.cookie_host_range
+        y = int(packet.dst) - int(self.cookie_subnet.network_address) - 1
+        if active:
+            if not self.cookies.verify_ip_cookie(y, packet.src, r_y):
+                self.invalid_drops += 1
+                self._charge(self.costs.drop_invalid)
+                return
+            self.valid_cookies += 1
+            if not self.rl2.allow(packet.src, now):
+                self.rl2_drops += 1
+                return
+        question = message.question
+        cached = self._answer_cache.get((question.qname, question.qtype))
+        if cached is not None and cached.expires_at > now:
+            reply = make_response(message, authoritative=True)
+            reply.answers.extend(cached.records)
+            self._submit(
+                self.costs.serve_cached_answer,
+                self._send_udp,
+                reply,
+                packet.src,
+                datagram.sport,
+                packet.dst,
+            )
+            return
+        # no cached answer: DNAT the query to the real ANS (messages 8/9)
+        key = (packet.src, datagram.sport, message.header.msg_id)
+        self._pending[key] = _Pending(
+            kind="dnat",
+            cookie_qname=None,
+            rewrite_source=packet.dst,
+            original_qname=question.qname,
+            qtype=question.qtype,
+            expires_at=now + self.pending_timeout,
+        )
+        forwarded = Packet(
+            src=packet.src,
+            dst=self.ans_address,
+            segment=UdpDatagram(datagram.sport, 53, DnsPayload(message)),
+        )
+        self._submit(self.costs.validate_and_forward, self._safe_send, forwarded)
+
+    # -- response path -------------------------------------------------------------------
+
+    def _handle_ans_response(self, packet: Packet, datagram: UdpDatagram) -> str:
+        payload = datagram.payload
+        if not isinstance(payload, DnsPayload):
+            return "forward"
+        message = payload.message
+        key = (packet.dst, datagram.dport, message.header.msg_id)
+        pending = self._pending.pop(key, None)
+        if pending is None:
+            return "forward"
+        if pending.kind == "dnat":
+            rewritten = Packet(
+                src=pending.rewrite_source,
+                dst=packet.dst,
+                segment=UdpDatagram(53, datagram.dport, DnsPayload(message)),
+            )
+            self.responses_transformed += 1
+            self._submit(self.costs.transform_response, self._safe_send, rewritten)
+            return "drop"
+
+        # cookie-name exchange: message 5 -> message 6
+        glue = self._referral_addresses(message, pending.original_qname)
+        original_question = make_query(
+            pending.cookie_qname, RRType.A, msg_id=message.header.msg_id
+        )
+        if glue:
+            reply = cookie_name_answer(original_question, glue)
+        else:
+            # non-referral answer: fabricate COOKIE2 and cache the real answer
+            cookie2 = self.cookie2_address(packet.dst)
+            if cookie2 is None:
+                # no fabricated subnet configured: cannot run this variant;
+                # answer with the ANS's own address so the requester returns
+                reply = cookie_name_answer(
+                    original_question, [self.ans_address], ttl=self.ns_ttl
+                )
+            else:
+                reply = cookie_name_answer(original_question, [cookie2], ttl=self.ns_ttl)
+            if message.answers:
+                self._answer_cache[(pending.original_qname, pending.qtype)] = _CachedAnswer(
+                    list(message.answers), self.node.sim.now + self.answer_cache_ttl
+                )
+                if len(self._answer_cache) > 4096:
+                    self._answer_cache.pop(next(iter(self._answer_cache)))
+        self.responses_transformed += 1
+        self._submit(
+            self.costs.transform_response,
+            self._send_udp,
+            reply,
+            packet.dst,
+            datagram.dport,
+            packet.src,
+        )
+        return "drop"
+
+    @staticmethod
+    def _referral_addresses(message: Message, qname: Name) -> list[ResourceRecord]:
+        """Glue A records if ``message`` is a referral for ``qname``; else []."""
+        if message.answers:
+            return []
+        ns_targets = {
+            rr.rdata.target  # type: ignore[union-attr]
+            for rr in message.authorities
+            if rr.rtype == RRType.NS and qname.is_subdomain_of(rr.name)
+        }
+        if not ns_targets:
+            return []
+        return [
+            rr
+            for rr in message.additionals
+            if rr.rtype == RRType.A and rr.name in ns_targets
+        ]
+
+    # -- plumbing ---------------------------------------------------------------------------
+
+    def _send_udp(self, message: Message, dst: IPv4Address, dport: int, src: IPv4Address) -> None:
+        """Send a guard-fabricated reply, spoofing the queried address."""
+        packet = Packet(src=src, dst=dst, segment=UdpDatagram(53, dport, DnsPayload(message)))
+        self._safe_send(packet)
+
+    def _safe_send(self, packet: Packet) -> None:
+        """Send, treating unroutable destinations (spoofed sources whose
+        address goes nowhere) as silent drops — the Internet would eat them."""
+        try:
+            self.node.send(packet)
+        except RoutingError:
+            self.unroutable_replies += 1
+
+    def _submit(self, cost: float, fn, *args) -> None:
+        if not self.node.cpu.submit(cost, fn, *args):
+            self.overload_drops += 1
+
+    def _charge(self, cost: float) -> None:
+        if not self.node.cpu.charge(cost):
+            self.overload_drops += 1
+
+    def _sweep(self) -> None:
+        now = self.node.sim.now
+        expired = [key for key, entry in self._pending.items() if entry.expires_at <= now]
+        for key in expired:
+            del self._pending[key]
+        dead = [key for key, entry in self._answer_cache.items() if entry.expires_at <= now]
+        for key in dead:
+            del self._answer_cache[key]
+        self._sweeper = self.node.sim.schedule(1.0, self._sweep)
+
+    @property
+    def pending_exchanges(self) -> int:
+        return len(self._pending)
+
+    def stats(self) -> dict[str, int | float]:
+        """A point-in-time snapshot of the guard's operational counters."""
+        snapshot: dict[str, int | float] = {
+            "queries_seen": self.queries_seen,
+            "cookies_granted": self.cookies_granted,
+            "referrals_fabricated": self.referrals_fabricated,
+            "truncations_sent": self.truncations_sent,
+            "valid_cookies": self.valid_cookies,
+            "invalid_drops": self.invalid_drops,
+            "rl1_drops": self.rl1_drops,
+            "rl2_drops": self.rl2_drops,
+            "overload_drops": self.overload_drops,
+            "responses_transformed": self.responses_transformed,
+            "forwarded_inactive": self.forwarded_inactive,
+            "unroutable_replies": self.unroutable_replies,
+            "pending_exchanges": self.pending_exchanges,
+            "cookie_computations": self.cookies.computations,
+            "cpu_busy_seconds": self.node.cpu.completed_busy_seconds(),
+        }
+        if self.tcp_proxy is not None:
+            snapshot["tcp_requests_proxied"] = self.tcp_proxy.requests_proxied
+            snapshot["tcp_connections_accepted"] = self.tcp_proxy.connections_accepted
+            snapshot["tcp_connections_reaped"] = self.tcp_proxy.connections_reaped
+        return snapshot

@@ -1,0 +1,305 @@
+"""RFC 7873 DNS Cookies — the standardised descendant of this paper's idea.
+
+The paper's modified-DNS scheme (2006) became, a decade later, RFC 7873:
+an EDNS(0) COOKIE option carrying a *client cookie* (8 bytes, chosen by the
+client) and a *server cookie* (8-32 bytes, a keyed hash binding the client
+cookie to the client's address).  This module implements that protocol on
+the same testbed so the two designs can be compared head-to-head
+(``benchmarks/bench_ablation.py``):
+
+* :func:`attach_edns_cookie` / :func:`extract_edns_cookie` — the OPT-RR
+  option codec;
+* :class:`EdnsCookieServer` — stateless server-cookie computation and
+  verification (one hash per check, same cost class as the paper's);
+* :class:`EdnsCookieGuard` — an inline middlebox enforcing cookies in front
+  of an ANS, mirroring :class:`~repro.guard.RemoteDnsGuard`'s deployment;
+* :class:`EdnsCookieClientShim` — an LRS-side middlebox that makes an
+  unmodified resolver cookie-capable, mirroring
+  :class:`~repro.guard.LocalDnsGuard`.
+
+We run the guard in the RFC's hard-enforcement posture (§5.2.3's
+alternative for servers under attack): a query carrying only a client
+cookie earns an answerless response with the correct server cookie, and
+the client retries — the same 2-round-trip first contact as the paper's
+modified-DNS scheme, but with the cookie bound to the *client's* cookie as
+well as its address.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import hashlib
+import struct
+from ipaddress import IPv4Address
+
+from ..dnswire import Message, Name, OPT, ResourceRecord, RRType
+from ..netsim import DnsPayload, Link, Node, Packet, RoutingError, UdpDatagram
+from .costs import GuardCosts
+from .ratelimit import UnverifiedResponseLimiter
+
+#: EDNS option code for COOKIE (RFC 7873).
+OPTION_COOKIE = 10
+
+#: Client cookie length (fixed by the RFC).
+CLIENT_COOKIE_LENGTH = 8
+
+#: Our server cookie length (the RFC allows 8-32).
+SERVER_COOKIE_LENGTH = 16
+
+
+def attach_edns_cookie(
+    message: Message, client_cookie: bytes, server_cookie: bytes = b""
+) -> Message:
+    """Attach (or replace) an OPT RR carrying the COOKIE option, in place."""
+    if len(client_cookie) != CLIENT_COOKIE_LENGTH:
+        raise ValueError(f"client cookie must be {CLIENT_COOKIE_LENGTH} bytes")
+    strip_edns_cookie(message)
+    opt = OPT(options=((OPTION_COOKIE, client_cookie + server_cookie),))
+    message.additionals.append(
+        ResourceRecord(Name.root(), RRType.OPT, 4096, 0, opt)
+    )
+    return message
+
+
+def extract_edns_cookie(message: Message) -> tuple[bytes, bytes] | None:
+    """(client_cookie, server_cookie) from the OPT RR, or None."""
+    for rr in message.additionals:
+        if rr.rtype == RRType.OPT and isinstance(rr.rdata, OPT):
+            payload = rr.rdata.option(OPTION_COOKIE)
+            if payload is None or len(payload) < CLIENT_COOKIE_LENGTH:
+                return None
+            return payload[:CLIENT_COOKIE_LENGTH], payload[CLIENT_COOKIE_LENGTH:]
+    return None
+
+
+def strip_edns_cookie(message: Message) -> Message:
+    """Remove any OPT RR so the protected ANS sees classic DNS."""
+    message.additionals = [rr for rr in message.additionals if rr.rtype != RRType.OPT]
+    return message
+
+
+class EdnsCookieServer:
+    """Stateless server-cookie computation (RFC 7873 §6)."""
+
+    def __init__(self, key: bytes | None = None):
+        self.key = key if key is not None else hashlib.md5(b"rfc7873").digest()
+        self.computations = 0
+
+    def server_cookie(self, client_cookie: bytes, source: IPv4Address) -> bytes:
+        self.computations += 1
+        material = client_cookie + source.packed + self.key
+        return hashlib.md5(material).digest()[:SERVER_COOKIE_LENGTH]
+
+    def verify(self, client_cookie: bytes, server_cookie: bytes, source: IPv4Address) -> bool:
+        if len(server_cookie) != SERVER_COOKIE_LENGTH:
+            return False
+        return server_cookie == self.server_cookie(client_cookie, source)
+
+
+class EdnsCookieGuard:
+    """Inline RFC 7873 enforcement in front of an ANS.
+
+    Policy, per RFC 7873 §5.2: a query with a valid server cookie passes; a
+    query with only a client cookie gets the correct server cookie back in
+    an answerless response (rate-limited — it is still unverified); a query
+    with no cookie at all is handled per ``no_cookie_policy`` ("forward"
+    preserves compatibility, "drop" is the hard-enforcement mode used when
+    under attack).
+    """
+
+    def __init__(
+        self,
+        node: Node,
+        ans_address: IPv4Address,
+        *,
+        server: EdnsCookieServer | None = None,
+        costs: GuardCosts | None = None,
+        rl1: UnverifiedResponseLimiter | None = None,
+        no_cookie_policy: str = "drop",
+    ):
+        self.node = node
+        self.ans_address = ans_address
+        self.server = server if server is not None else EdnsCookieServer()
+        self.costs = costs if costs is not None else GuardCosts()
+        self.rl1 = rl1 if rl1 is not None else UnverifiedResponseLimiter(
+            per_source_rate=1e9, per_source_burst=1e9
+        )
+        self.no_cookie_policy = no_cookie_policy
+        self.valid_cookies = 0
+        self.cookies_granted = 0
+        self.invalid_drops = 0
+        self.no_cookie_drops = 0
+        node.transit_filter = self._transit
+        node.forward_cost = self.costs.forward
+
+    def _transit(self, packet: Packet, link: Link) -> str:
+        segment = packet.segment
+        if not isinstance(segment, UdpDatagram):
+            return "forward"
+        if packet.src == self.ans_address:
+            return "forward"
+        if packet.dst != self.ans_address or segment.dport != 53:
+            return "forward"
+        payload = segment.payload
+        if not isinstance(payload, DnsPayload) or not payload.message.is_query():
+            self._charge(self.costs.drop_invalid)
+            return "drop"
+        message = payload.message
+        cookie = extract_edns_cookie(message)
+        if cookie is None:
+            if self.no_cookie_policy == "forward":
+                self._submit(self.costs.forward, self._forward, packet)
+            else:
+                self.no_cookie_drops += 1
+                self._charge(self.costs.drop_invalid)
+            return "drop"
+        client_cookie, server_cookie = cookie
+        if server_cookie and self.server.verify(client_cookie, server_cookie, packet.src):
+            self.valid_cookies += 1
+            clean = copy.copy(message)
+            clean.additionals = list(message.additionals)
+            strip_edns_cookie(clean)
+            forwarded = Packet(
+                src=packet.src,
+                dst=packet.dst,
+                segment=UdpDatagram(segment.sport, 53, DnsPayload(clean)),
+            )
+            self._submit(self.costs.validate_and_forward, self._forward, forwarded)
+            return "drop"
+        if server_cookie:
+            # wrong server cookie: could be stale or forged — drop (the
+            # client will retry and learn the fresh cookie)
+            self.invalid_drops += 1
+            self._charge(self.costs.drop_invalid)
+            return "drop"
+        # client cookie only: grant the server cookie (unverified response)
+        if not self.rl1.allow(packet.src, self.node.sim.now):
+            self._charge(self.costs.per_packet)
+            return "drop"
+        grant = Message(questions=list(message.questions))
+        grant.header.msg_id = message.header.msg_id
+        grant.header.qr = True
+        attach_edns_cookie(
+            grant, client_cookie, self.server.server_cookie(client_cookie, packet.src)
+        )
+        self.cookies_granted += 1
+        reply = Packet(
+            src=packet.dst,
+            dst=packet.src,
+            segment=UdpDatagram(53, segment.sport, DnsPayload(grant)),
+        )
+        self._submit(self.costs.fabricate_response, self._forward, reply)
+        return "drop"
+
+    def _forward(self, packet: Packet) -> None:
+        try:
+            self.node.send(packet)
+        except RoutingError:
+            pass
+
+    def _submit(self, cost: float, fn, *args) -> None:
+        self.node.cpu.submit(cost, fn, *args)
+
+    def _charge(self, cost: float) -> None:
+        self.node.cpu.charge(cost)
+
+
+@dataclasses.dataclass(slots=True)
+class _ServerCookieEntry:
+    server_cookie: bytes
+    expires_at: float
+
+
+class EdnsCookieClientShim:
+    """LRS-side middlebox stamping RFC 7873 cookies onto plain queries.
+
+    The client cookie is derived per (client, server) pair as the RFC
+    recommends; the learned server cookie is cached and refreshed whenever
+    a grant (answerless cookie response) comes back.
+    """
+
+    def __init__(self, node: Node, *, cookie_ttl: float = 3600.0):
+        self.node = node
+        self.cookie_ttl = cookie_ttl
+        self._secret = struct.pack("!Q", node.sim.rng.getrandbits(64))
+        self._server_cookies: dict[tuple[IPv4Address, IPv4Address], _ServerCookieEntry] = {}
+        self._held: dict[tuple[IPv4Address, IPv4Address], list[tuple[Packet, UdpDatagram, float]]] = {}
+        self.queries_stamped = 0
+        self.grants_learned = 0
+        node.transit_filter = self._transit
+
+    def client_cookie(self, client: IPv4Address, server: IPv4Address) -> bytes:
+        material = self._secret + client.packed + server.packed
+        return hashlib.md5(material).digest()[:CLIENT_COOKIE_LENGTH]
+
+    def _transit(self, packet: Packet, link: Link) -> str:
+        segment = packet.segment
+        if not isinstance(segment, UdpDatagram):
+            return "forward"
+        payload = segment.payload
+        if not isinstance(payload, DnsPayload):
+            return "forward"
+        message = payload.message
+        if segment.dport == 53 and message.is_query():
+            return self._outbound(packet, segment, message)
+        if segment.sport == 53 and message.is_response():
+            return self._inbound(packet, segment, message)
+        return "forward"
+
+    def _outbound(self, packet: Packet, datagram: UdpDatagram, message: Message) -> str:
+        now = self.node.sim.now
+        key = (packet.dst, packet.src)
+        client_cookie = self.client_cookie(packet.src, packet.dst)
+        entry = self._server_cookies.get(key)
+        server_cookie = b""
+        if entry is not None and entry.expires_at > now:
+            server_cookie = entry.server_cookie
+        else:
+            # remember the original so a grant can release it
+            self._held.setdefault(key, []).append((packet, datagram, now + 2.0))
+        stamped = copy.copy(message)
+        stamped.additionals = list(message.additionals)
+        attach_edns_cookie(stamped, client_cookie, server_cookie)
+        self.queries_stamped += 1
+        self.node.send(
+            Packet(
+                src=packet.src,
+                dst=packet.dst,
+                segment=UdpDatagram(datagram.sport, datagram.dport, DnsPayload(stamped)),
+            )
+        )
+        return "drop"
+
+    def _inbound(self, packet: Packet, datagram: UdpDatagram, message: Message) -> str:
+        cookie = extract_edns_cookie(message)
+        if cookie is None:
+            return "forward"
+        client_cookie, server_cookie = cookie
+        if not server_cookie:
+            return "forward"
+        now = self.node.sim.now
+        key = (packet.src, packet.dst)
+        self._server_cookies[key] = _ServerCookieEntry(server_cookie, now + self.cookie_ttl)
+        self.grants_learned += 1
+        if message.answers:
+            # a real answer that happens to carry the cookie: pass it on
+            return "forward"
+        # an answerless grant: re-send held queries with the fresh cookie
+        for held_packet, held_datagram, deadline in self._held.pop(key, []):
+            if deadline <= now:
+                continue
+            held_message = held_datagram.payload.message  # type: ignore[union-attr]
+            stamped = copy.copy(held_message)
+            stamped.additionals = list(held_message.additionals)
+            attach_edns_cookie(stamped, client_cookie, server_cookie)
+            self.node.send(
+                Packet(
+                    src=held_packet.src,
+                    dst=held_packet.dst,
+                    segment=UdpDatagram(
+                        held_datagram.sport, held_datagram.dport, DnsPayload(stamped)
+                    ),
+                )
+            )
+        return "drop"

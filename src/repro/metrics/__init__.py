@@ -1,0 +1,5 @@
+"""Measurement collectors for the experiment runners."""
+
+from .collectors import CpuSeries, LatencyStats, Sample, ThroughputSeries
+
+__all__ = ["CpuSeries", "LatencyStats", "Sample", "ThroughputSeries"]

@@ -1,0 +1,119 @@
+"""Measurement collectors: throughput, latency and CPU-utilisation series.
+
+Experiment runners sample these on the virtual clock to produce the exact
+series the paper plots (throughput of legitimate requests, CPU utilisation
+of the ANS and the guard).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from ..netsim import Node, Simulator
+
+
+@dataclasses.dataclass(slots=True)
+class Sample:
+    time: float
+    value: float
+
+
+class ThroughputSeries:
+    """Periodic completed-per-second samples from a LoadStats-like object."""
+
+    def __init__(self, sim: Simulator, stats, interval: float = 0.1):
+        self.sim = sim
+        self.stats = stats
+        self.interval = interval
+        self.samples: list[Sample] = []
+        self._last_completed = stats.completed
+        self._running = False
+
+    def start(self) -> None:
+        self._running = True
+        self._last_completed = self.stats.completed
+        self.sim.schedule(self.interval, self._tick)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        delta = self.stats.completed - self._last_completed
+        self._last_completed = self.stats.completed
+        self.samples.append(Sample(self.sim.now, delta / self.interval))
+        self.sim.schedule(self.interval, self._tick)
+
+    def mean(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(s.value for s in self.samples) / len(self.samples)
+
+
+class CpuSeries:
+    """Periodic utilisation samples from a node's CPU."""
+
+    def __init__(self, node: Node, interval: float = 0.1):
+        self.node = node
+        self.interval = interval
+        self.samples: list[Sample] = []
+        self._running = False
+        self._busy_mark = 0.0
+        self._time_mark = 0.0
+
+    def start(self) -> None:
+        self._running = True
+        self._busy_mark = self.node.cpu.completed_busy_seconds()
+        self._time_mark = self.node.sim.now
+        self.node.sim.schedule(self.interval, self._tick)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        utilization = self.node.cpu.utilization(self._busy_mark, self._time_mark)
+        self.samples.append(Sample(self.node.sim.now, utilization))
+        self._busy_mark = self.node.cpu.completed_busy_seconds()
+        self._time_mark = self.node.sim.now
+        self.node.sim.schedule(self.interval, self._tick)
+
+    def mean(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(s.value for s in self.samples) / len(self.samples)
+
+
+class LatencyStats:
+    """Summary statistics over a list of latencies (seconds)."""
+
+    def __init__(self, latencies: list[float]):
+        self.latencies = sorted(latencies)
+
+    @property
+    def count(self) -> int:
+        return len(self.latencies)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.latencies) / len(self.latencies) if self.latencies else math.nan
+
+    def percentile(self, p: float) -> float:
+        if not self.latencies:
+            return math.nan
+        index = min(int(p / 100.0 * len(self.latencies)), len(self.latencies) - 1)
+        return self.latencies[index]
+
+    @property
+    def median(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def mean_ms(self) -> float:
+        return self.mean * 1000.0

@@ -1,0 +1,76 @@
+"""Discrete-event network simulator: nodes, links, CPU model, UDP and TCP."""
+
+from .address import SubnetAllocator
+from .cpu import Cpu
+from .errors import (
+    AddressError,
+    ConnectionError_,
+    NetsimError,
+    RoutingError,
+    SocketError,
+)
+from .link import Link
+from .netfilter import Chain, Hook, PacketFilter, Rule, Verdict
+from .node import Node
+from .packet import (
+    DnsPayload,
+    IP_HEADER_BYTES,
+    Packet,
+    RawPayload,
+    TCP_HEADER_BYTES,
+    TcpFlags,
+    TcpSegment,
+    UDP_HEADER_BYTES,
+    UdpDatagram,
+)
+from .simulator import EventHandle, Simulator
+from .trace import PacketTracer, TraceRecord
+from .tcp import (
+    DEFAULT_RTO,
+    Listener,
+    MAX_RETRANSMITS,
+    MSS,
+    TcpConnection,
+    TcpStack,
+    TcpState,
+)
+from .udp import UdpSocket, UdpStack
+
+__all__ = [
+    "AddressError",
+    "Chain",
+    "ConnectionError_",
+    "Cpu",
+    "Hook",
+    "PacketFilter",
+    "Rule",
+    "Verdict",
+    "DEFAULT_RTO",
+    "DnsPayload",
+    "EventHandle",
+    "IP_HEADER_BYTES",
+    "Link",
+    "Listener",
+    "MAX_RETRANSMITS",
+    "MSS",
+    "NetsimError",
+    "Node",
+    "Packet",
+    "PacketTracer",
+    "TraceRecord",
+    "RawPayload",
+    "RoutingError",
+    "SocketError",
+    "Simulator",
+    "SubnetAllocator",
+    "TCP_HEADER_BYTES",
+    "TcpConnection",
+    "TcpFlags",
+    "TcpSegment",
+    "TcpStack",
+    "TcpState",
+    "UDP_HEADER_BYTES",
+    "UdpDatagram",
+    "UdpSocket",
+    "UdpStack",
+]

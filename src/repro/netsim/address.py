@@ -1,0 +1,51 @@
+"""IPv4 address allocation helpers built on :mod:`ipaddress`.
+
+The testbed assigns addresses out of named subnets (the guard's protected
+subnet ``1.2.3.0/24`` matters to the fabricated-NS-IP cookie scheme, whose
+strength is the usable host range ``R_y``).
+"""
+
+from __future__ import annotations
+
+from ipaddress import IPv4Address, IPv4Network
+
+from .errors import AddressError
+
+
+class SubnetAllocator:
+    """Hands out host addresses from one IPv4 subnet, in order."""
+
+    def __init__(self, network: IPv4Network | str):
+        if isinstance(network, str):
+            network = IPv4Network(network)
+        self.network = network
+        self._hosts = network.hosts()
+        self._allocated: set[IPv4Address] = set()
+
+    def allocate(self) -> IPv4Address:
+        """The next free host address in the subnet."""
+        for candidate in self._hosts:
+            if candidate not in self._allocated:
+                self._allocated.add(candidate)
+                return candidate
+        raise AddressError(f"subnet {self.network} exhausted")
+
+    def claim(self, address: IPv4Address | str) -> IPv4Address:
+        """Reserve a specific address (e.g. a well-known server IP)."""
+        if isinstance(address, str):
+            address = IPv4Address(address)
+        if address not in self.network:
+            raise AddressError(f"{address} is not in {self.network}")
+        if address in self._allocated:
+            raise AddressError(f"{address} already allocated")
+        self._allocated.add(address)
+        return address
+
+    def host_range(self) -> int:
+        """Number of usable host addresses — the paper's ``R_y``."""
+        return self.network.num_addresses - 2 if self.network.prefixlen < 31 else (
+            self.network.num_addresses
+        )
+
+    def __contains__(self, address: IPv4Address) -> bool:
+        return address in self.network

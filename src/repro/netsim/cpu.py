@@ -1,0 +1,111 @@
+"""Per-node CPU model: a single FIFO service queue with bounded backlog.
+
+This is the substitute for the paper's hardware CPUs (see DESIGN.md).  Each
+piece of work (receiving a packet, computing an MD5 cookie, serving a DNS
+request) costs a configurable number of CPU-seconds.  Work queues FIFO; when
+the backlog exceeds ``queue_limit`` seconds the submission is dropped — which
+is exactly how an overloaded BIND drops requests indiscriminately in §IV.C.
+
+Utilisation is metered by integrating executed busy time, so experiment
+runners can reproduce the CPU-utilisation curves of Figures 5(b) and 6(b):
+sample :meth:`Cpu.completed_busy_seconds` at two instants and divide by the
+elapsed virtual time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .simulator import Simulator
+
+
+class Cpu:
+    """A FIFO service queue measuring work in CPU-seconds.
+
+    With ``cores > 1`` the queue feeds the first core to free up (an
+    M/M/c-style service station): throughput scales with the core count
+    while a single job still takes its full service time.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        *,
+        speed: float = 1.0,
+        queue_limit: float = 0.050,
+        cores: int = 1,
+    ):
+        """``speed`` scales all costs (2.0 = twice as fast); ``queue_limit``
+        is the maximum backlog, expressed in seconds of queued work per
+        core; ``cores`` is the number of parallel execution units."""
+        if speed <= 0:
+            raise ValueError("cpu speed must be positive")
+        if cores < 1:
+            raise ValueError("cores must be at least 1")
+        self.sim = sim
+        self.speed = speed
+        self.queue_limit = queue_limit
+        self.cores = cores
+        self._core_busy_until = [0.0] * cores
+        self._busy_accumulated = 0.0
+        self.jobs_accepted = 0
+        self.jobs_dropped = 0
+
+    # -- work submission ----------------------------------------------------
+
+    def submit(self, cost: float, fn: Callable[..., Any] | None = None, *args: Any) -> bool:
+        """Queue ``cost`` CPU-seconds of work, then run ``fn(*args)``.
+
+        Returns False (and drops the work) if the backlog is over the queue
+        limit.  ``fn`` may be ``None`` for pure accounting (e.g. the cost of
+        dropping an invalid packet).
+        """
+        cost = cost / self.speed
+        now = self.sim.now
+        core = min(range(self.cores), key=self._core_busy_until.__getitem__)
+        backlog = max(0.0, self._core_busy_until[core] - now)
+        if backlog > self.queue_limit:
+            self.jobs_dropped += 1
+            return False
+        start = max(self._core_busy_until[core], now)
+        self._core_busy_until[core] = start + cost
+        self._busy_accumulated += cost
+        self.jobs_accepted += 1
+        if fn is not None:
+            self.sim.schedule_at(self._core_busy_until[core], fn, *args)
+        return True
+
+    def charge(self, cost: float) -> bool:
+        """Account for work with no completion callback."""
+        return self.submit(cost, None)
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def backlog(self) -> float:
+        """Seconds of work queued on the least-loaded core."""
+        now = self.sim.now
+        return max(0.0, min(self._core_busy_until) - now)
+
+    def completed_busy_seconds(self) -> float:
+        """CPU-seconds of work actually executed by now (queued work whose
+        service extends into the future is excluded)."""
+        now = self.sim.now
+        pending = sum(max(0.0, busy - now) for busy in self._core_busy_until)
+        return self._busy_accumulated - pending
+
+    def utilization(self, busy_at_start: float, window_start: float) -> float:
+        """Utilisation since a snapshot, in [0, 1], normalised by cores.
+
+        ``busy_at_start`` is a prior reading of :meth:`completed_busy_seconds`
+        taken at virtual time ``window_start``.
+        """
+        elapsed = self.sim.now - window_start
+        if elapsed <= 0:
+            return 0.0
+        busy = self.completed_busy_seconds() - busy_at_start
+        return max(0.0, min(1.0, busy / (elapsed * self.cores)))
+
+    def reset_counters(self) -> None:
+        self.jobs_accepted = 0
+        self.jobs_dropped = 0

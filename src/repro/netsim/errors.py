@@ -1,0 +1,23 @@
+"""Exceptions raised by the network simulator."""
+
+from __future__ import annotations
+
+
+class NetsimError(Exception):
+    """Base class for simulator errors."""
+
+
+class AddressError(NetsimError):
+    """Bad address, port, or subnet configuration."""
+
+
+class RoutingError(NetsimError):
+    """A packet had no route to its destination."""
+
+
+class SocketError(NetsimError):
+    """Bad socket usage (port already bound, send on closed socket, ...)."""
+
+
+class ConnectionError_(NetsimError):
+    """TCP connection failure (reset, retransmission limit, ...)."""

@@ -1,0 +1,110 @@
+"""Point-to-point links with propagation delay, bandwidth and loss.
+
+A link joins exactly two nodes.  Each direction has its own transmission
+queue: packets serialise at ``bandwidth`` bytes/sec (infinite if ``None``)
+and arrive ``delay`` seconds after serialisation completes.  When more than
+``queue_limit`` seconds of serialisation work is queued, the tail drops —
+the classic droptail bottleneck an amplification attack saturates.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .packet import Packet
+from .simulator import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .node import Node
+
+
+class _Direction:
+    """Per-direction transmission state."""
+
+    __slots__ = ("busy_until", "bytes_sent", "packets_sent", "packets_dropped")
+
+    def __init__(self) -> None:
+        self.busy_until = 0.0
+        self.bytes_sent = 0
+        self.packets_sent = 0
+        self.packets_dropped = 0
+
+
+class Link:
+    """A bidirectional point-to-point link."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        a: "Node",
+        b: "Node",
+        *,
+        delay: float = 0.0002,
+        bandwidth: float | None = None,
+        loss: float = 0.0,
+        jitter: float = 0.0,
+        queue_limit: float = 0.1,
+    ):
+        """``delay`` is one-way propagation in seconds (default gives the
+        paper's 0.4 ms testbed RTT); ``bandwidth`` is bytes/sec; ``jitter``
+        adds a uniform ±jitter perturbation to each packet's delay."""
+        if not 0.0 <= loss <= 1.0:
+            raise ValueError("loss must be a probability")
+        if jitter < 0 or jitter > delay:
+            if jitter != 0.0:
+                raise ValueError("jitter must be within [0, delay]")
+        self.sim = sim
+        self.a = a
+        self.b = b
+        self.delay = delay
+        self.bandwidth = bandwidth
+        self.loss = loss
+        self.jitter = jitter
+        self.queue_limit = queue_limit
+        self._directions = {id(a): _Direction(), id(b): _Direction()}
+        a.attach(self)
+        b.attach(self)
+
+    def other(self, node: "Node") -> "Node":
+        """The peer on the far end of the link from ``node``."""
+        if node is self.a:
+            return self.b
+        if node is self.b:
+            return self.a
+        raise ValueError(f"{node} is not attached to this link")
+
+    def transmit(self, packet: Packet, sender: "Node") -> bool:
+        """Send ``packet`` from ``sender`` toward the other end.
+
+        Returns False if the packet was dropped (queue overflow or random
+        loss); arrival at the peer is otherwise scheduled.
+        """
+        direction = self._directions[id(sender)]
+        now = self.sim.now
+        if self.bandwidth is not None:
+            serialization = packet.size / self.bandwidth
+            queued = max(0.0, direction.busy_until - now)
+            if queued > self.queue_limit:
+                direction.packets_dropped += 1
+                return False
+            start = max(direction.busy_until, now)
+            direction.busy_until = start + serialization
+            departure = direction.busy_until
+        else:
+            departure = now
+        if self.loss and self.sim.rng.random() < self.loss:
+            direction.packets_dropped += 1
+            return False
+        direction.bytes_sent += packet.size
+        direction.packets_sent += 1
+        receiver = self.other(sender)
+        delay = self.delay
+        if self.jitter:
+            delay += self.sim.rng.uniform(-self.jitter, self.jitter)
+        self.sim.schedule_at(departure + delay, receiver.receive, packet, self)
+        return True
+
+    def stats(self, sender: "Node") -> tuple[int, int, int]:
+        """(packets_sent, packets_dropped, bytes_sent) for ``sender``'s direction."""
+        d = self._directions[id(sender)]
+        return d.packets_sent, d.packets_dropped, d.bytes_sent

@@ -1,0 +1,131 @@
+"""Packets: IP carrying either a UDP datagram or a TCP segment.
+
+DNS payloads travel by reference (a parsed :class:`~repro.dnswire.Message`
+plus its cached wire size) so the simulator does not pay for a full
+encode/decode on every hop at 250K packets/sec.  The wire codec is still
+what defines each packet's size, and edges that need real bytes (the TCP
+stream, tests) can ask for them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from ipaddress import IPv4Address
+from typing import Union
+
+from ..dnswire import Message
+
+IP_HEADER_BYTES = 20
+UDP_HEADER_BYTES = 8
+TCP_HEADER_BYTES = 20
+
+
+class DnsPayload:
+    """A DNS message riding in a UDP datagram, with cached wire size."""
+
+    __slots__ = ("message", "_size")
+
+    def __init__(self, message: Message, size: int | None = None):
+        self.message = message
+        self._size = size
+
+    @property
+    def size(self) -> int:
+        if self._size is None:
+            self._size = self.message.wire_size()
+        return self._size
+
+    @property
+    def wire(self) -> bytes:
+        return self.message.encode()
+
+    def __repr__(self) -> str:
+        return f"DnsPayload({self.message.header.msg_id}, {self.size}B)"
+
+
+class RawPayload:
+    """Arbitrary bytes in a UDP datagram (junk floods, probes)."""
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: bytes):
+        self.data = data
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    @property
+    def wire(self) -> bytes:
+        return self.data
+
+
+@dataclasses.dataclass(slots=True)
+class UdpDatagram:
+    """A UDP datagram."""
+
+    sport: int
+    dport: int
+    payload: DnsPayload | RawPayload
+
+    @property
+    def size(self) -> int:
+        return UDP_HEADER_BYTES + self.payload.size
+
+
+class TcpFlags(enum.IntFlag):
+    """TCP control flags we model."""
+
+    SYN = 0x02
+    ACK = 0x10
+    FIN = 0x01
+    RST = 0x04
+
+
+@dataclasses.dataclass(slots=True)
+class TcpSegment:
+    """A TCP segment carrying a slice of the byte stream."""
+
+    sport: int
+    dport: int
+    seq: int
+    ack: int
+    flags: TcpFlags
+    data: bytes = b""
+
+    @property
+    def size(self) -> int:
+        return TCP_HEADER_BYTES + len(self.data)
+
+    def has(self, flag: TcpFlags) -> bool:
+        return bool(self.flags & flag)
+
+
+Segment = Union[UdpDatagram, TcpSegment]
+
+
+@dataclasses.dataclass(slots=True)
+class Packet:
+    """An IPv4 packet.  ``src`` is whatever the sender claims — spoofable.
+
+    ``ttl`` starts at the sender's initial value and is decremented at each
+    router hop; defence baselines like hop-count filtering read it.
+    """
+
+    src: IPv4Address
+    dst: IPv4Address
+    segment: Segment
+    ttl: int = 64
+
+    @property
+    def size(self) -> int:
+        """Total on-the-wire size in bytes, including the IP header."""
+        return IP_HEADER_BYTES + self.segment.size
+
+    @property
+    def protocol(self) -> str:
+        return "udp" if isinstance(self.segment, UdpDatagram) else "tcp"
+
+    def __repr__(self) -> str:
+        return f"Packet({self.src}->{self.dst} {self.protocol} {self.size}B)"

@@ -1,0 +1,523 @@
+"""A compact but real TCP: handshake, SYN cookies, reliable byte stream.
+
+The TCP-based guard scheme (paper §III.C) rests on two properties of real
+TCP that this implementation reproduces faithfully:
+
+* the three-way handshake echoes the server's initial sequence number, so a
+  spoofing client never completes a connection — the ISN *is* the cookie;
+* with SYN cookies enabled the listener keeps **no state** for half-open
+  connections: the ISN is a keyed hash of the 4-tuple, validated when the
+  final ACK arrives.
+
+The data path is deliberately simple — fixed MSS, cumulative ACKs, one
+retransmission timer per connection, in-order-only receive — but it is a
+real reliable stream: segments lost to CPU overload or link loss are
+retransmitted, which is how the TCP proxy's throughput degrades (rather
+than collapses) under the UDP floods of Figure 7(b).
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import struct
+from ipaddress import IPv4Address
+from typing import TYPE_CHECKING, Callable
+
+from .errors import ConnectionError_, SocketError
+from .packet import Packet, TcpFlags, TcpSegment
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .node import Node
+
+#: Maximum segment size for data segments (Ethernet-ish).
+MSS = 1460
+
+#: Retransmission timeout (seconds) and maximum retransmissions.
+DEFAULT_RTO = 0.25
+MAX_RETRANSMITS = 6
+
+#: How many unacknowledged segments a sender may have in flight.
+SEND_WINDOW_SEGMENTS = 32
+
+ConnKey = tuple[IPv4Address, int, IPv4Address, int]
+
+
+class TcpState(enum.Enum):
+    CLOSED = "closed"
+    LISTEN = "listen"
+    SYN_SENT = "syn-sent"
+    SYN_RCVD = "syn-rcvd"
+    ESTABLISHED = "established"
+    FIN_WAIT_1 = "fin-wait-1"
+    FIN_WAIT_2 = "fin-wait-2"
+    CLOSE_WAIT = "close-wait"
+    LAST_ACK = "last-ack"
+    TIME_WAIT = "time-wait"
+
+
+class Listener:
+    """A passive TCP endpoint, optionally protected by SYN cookies."""
+
+    def __init__(
+        self,
+        stack: "TcpStack",
+        ip: IPv4Address | None,
+        port: int,
+        on_connection: Callable[["TcpConnection"], None],
+        *,
+        syn_cookies: bool = False,
+    ):
+        self.stack = stack
+        self.ip = ip
+        self.port = port
+        self.on_connection = on_connection
+        self.syn_cookies = syn_cookies
+        self.syns_received = 0
+        self.cookies_rejected = 0
+
+    def close(self) -> None:
+        self.stack._listeners.pop((self.ip, self.port), None)
+
+
+class TcpConnection:
+    """One reliable byte-stream connection."""
+
+    def __init__(
+        self,
+        stack: "TcpStack",
+        local_ip: IPv4Address,
+        local_port: int,
+        remote_ip: IPv4Address,
+        remote_port: int,
+    ):
+        self.stack = stack
+        self.local_ip = local_ip
+        self.local_port = local_port
+        self.remote_ip = remote_ip
+        self.remote_port = remote_port
+        self.state = TcpState.CLOSED
+        self.iss = 0
+        self.snd_una = 0
+        self.snd_nxt = 0
+        self.rcv_nxt = 0
+        self.opened_at = stack.node.sim.now
+        self.established_at: float | None = None
+        self.rtt: float | None = None
+        self.rto = DEFAULT_RTO
+        self._send_buffer = bytearray()
+        self._inflight: list[tuple[int, bytes, TcpFlags]] = []
+        self._retransmit_handle = None
+        self._retransmits = 0
+        self._fin_queued = False
+        self._fin_sent = False
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.segments_sent = 0
+        # application callbacks
+        self.on_established: Callable[["TcpConnection"], None] | None = None
+        self.on_data: Callable[["TcpConnection", bytes], None] | None = None
+        self.on_close: Callable[["TcpConnection", bool], None] | None = None
+
+    # -- public API -----------------------------------------------------------
+
+    @property
+    def key(self) -> ConnKey:
+        return (self.local_ip, self.local_port, self.remote_ip, self.remote_port)
+
+    def send(self, data: bytes) -> None:
+        """Queue application data for reliable delivery."""
+        if self.state not in (TcpState.ESTABLISHED, TcpState.CLOSE_WAIT):
+            raise ConnectionError_(f"send in state {self.state}")
+        if self._fin_queued:
+            raise ConnectionError_("send after close")
+        self._send_buffer += data
+        self._pump()
+
+    def close(self) -> None:
+        """Graceful close: FIN goes out after queued data drains."""
+        if self.state in (TcpState.CLOSED, TcpState.TIME_WAIT):
+            return
+        if self._fin_queued:
+            return
+        self._fin_queued = True
+        self._pump()
+
+    def abort(self) -> None:
+        """Hard close: send RST and drop all state."""
+        if self.state is not TcpState.CLOSED:
+            self._emit(TcpFlags.RST, seq=self.snd_nxt)
+        self._teardown(error=True)
+
+    @property
+    def duration(self) -> float:
+        """Seconds since the connection was opened (guard reaping policy)."""
+        return self.stack.node.sim.now - self.opened_at
+
+    # -- connection setup -------------------------------------------------------
+
+    def _start_active(self) -> None:
+        self.iss = self.stack._next_isn()
+        self.snd_una = self.iss
+        self.snd_nxt = self.iss
+        self.state = TcpState.SYN_SENT
+        self._emit(TcpFlags.SYN, seq=self.iss)
+        self._arm_retransmit()
+
+    def _start_passive(self, syn: TcpSegment) -> None:
+        self.rcv_nxt = (syn.seq + 1) & 0xFFFFFFFF
+        self.iss = self.stack._next_isn()
+        self.snd_una = self.iss
+        self.snd_nxt = self.iss
+        self.state = TcpState.SYN_RCVD
+        self._emit(TcpFlags.SYN | TcpFlags.ACK, seq=self.iss, ack=self.rcv_nxt)
+        self._arm_retransmit()
+
+    def _start_from_cookie(self, ack_segment: TcpSegment, cookie_isn: int) -> None:
+        """Establish directly from a validated SYN-cookie ACK (no prior state)."""
+        self.iss = cookie_isn
+        self.snd_una = (cookie_isn + 1) & 0xFFFFFFFF
+        self.snd_nxt = self.snd_una
+        self.rcv_nxt = ack_segment.seq
+        self._established()
+
+    def _established(self) -> None:
+        self.state = TcpState.ESTABLISHED
+        self.established_at = self.stack.node.sim.now
+        self.rtt = self.established_at - self.opened_at
+        self._cancel_retransmit()
+        if self.on_established:
+            self.on_established(self)
+
+    # -- segment processing -------------------------------------------------------
+
+    def handle(self, segment: TcpSegment) -> None:
+        if segment.has(TcpFlags.RST):
+            self._teardown(error=True)
+            return
+
+        if self.state is TcpState.SYN_SENT:
+            if segment.has(TcpFlags.SYN) and segment.has(TcpFlags.ACK):
+                if segment.ack != (self.iss + 1) & 0xFFFFFFFF:
+                    self.abort()
+                    return
+                self.rcv_nxt = (segment.seq + 1) & 0xFFFFFFFF
+                self.snd_una = segment.ack
+                self.snd_nxt = segment.ack
+                self._emit(TcpFlags.ACK, seq=self.snd_nxt, ack=self.rcv_nxt)
+                self._established()
+                self._pump()
+            return
+
+        if self.state is TcpState.SYN_RCVD:
+            if segment.has(TcpFlags.ACK) and segment.ack == (self.iss + 1) & 0xFFFFFFFF:
+                self.snd_una = segment.ack
+                self.snd_nxt = segment.ack
+                self._established()
+                listener = self.stack._listener_for(self.local_ip, self.local_port)
+                if listener:
+                    listener.on_connection(self)
+                # fall through: the ACK may carry data
+            else:
+                return
+
+        # -- acknowledgements
+        if segment.has(TcpFlags.ACK):
+            self._process_ack(segment.ack)
+
+        # -- incoming data
+        if segment.data:
+            if segment.seq == self.rcv_nxt:
+                self.rcv_nxt = (self.rcv_nxt + len(segment.data)) & 0xFFFFFFFF
+                self.bytes_received += len(segment.data)
+                self._emit(TcpFlags.ACK, seq=self.snd_nxt, ack=self.rcv_nxt)
+                if self.on_data:
+                    self.on_data(self, segment.data)
+            else:
+                # duplicate or out-of-order: re-assert our expectation
+                self._emit(TcpFlags.ACK, seq=self.snd_nxt, ack=self.rcv_nxt)
+
+        # -- FIN processing
+        if segment.has(TcpFlags.FIN) and segment.seq == self.rcv_nxt:
+            self.rcv_nxt = (self.rcv_nxt + 1) & 0xFFFFFFFF
+            self._emit(TcpFlags.ACK, seq=self.snd_nxt, ack=self.rcv_nxt)
+            if self.state is TcpState.ESTABLISHED:
+                self.state = TcpState.CLOSE_WAIT
+                if self.on_data:
+                    self.on_data(self, b"")  # EOF signal
+            elif self.state in (TcpState.FIN_WAIT_1, TcpState.FIN_WAIT_2):
+                self._teardown(error=False)
+
+    def _process_ack(self, ack: int) -> None:
+        if not _seq_gt(ack, self.snd_una):
+            return
+        self.snd_una = ack
+        # keep only segments not yet fully acknowledged (end > ack)
+        self._inflight = [
+            (seq, data, flags)
+            for seq, data, flags in self._inflight
+            if _seq_gt((seq + _seq_span(data, flags)) & 0xFFFFFFFF, ack)
+        ]
+        self._retransmits = 0
+        if self._inflight:
+            self._arm_retransmit()
+        else:
+            self._cancel_retransmit()
+            if self.state is TcpState.FIN_WAIT_1 and self._fin_sent:
+                self.state = TcpState.FIN_WAIT_2
+            elif self.state is TcpState.LAST_ACK and self._fin_sent:
+                self._teardown(error=False)
+        self._pump()
+
+    # -- transmit machinery -------------------------------------------------------
+
+    def _pump(self) -> None:
+        """Move data from the send buffer onto the wire, then FIN if queued."""
+        if self.state not in (TcpState.ESTABLISHED, TcpState.CLOSE_WAIT,
+                              TcpState.FIN_WAIT_1):
+            return
+        while self._send_buffer and len(self._inflight) < SEND_WINDOW_SEGMENTS:
+            chunk = bytes(self._send_buffer[:MSS])
+            del self._send_buffer[:MSS]
+            seq = self.snd_nxt
+            self.snd_nxt = (self.snd_nxt + len(chunk)) & 0xFFFFFFFF
+            self.bytes_sent += len(chunk)
+            self._inflight.append((seq, chunk, TcpFlags.ACK))
+            self._emit(TcpFlags.ACK, seq=seq, ack=self.rcv_nxt, data=chunk)
+        if self._fin_queued and not self._fin_sent and not self._send_buffer:
+            seq = self.snd_nxt
+            self.snd_nxt = (self.snd_nxt + 1) & 0xFFFFFFFF
+            self._fin_sent = True
+            if self.state is TcpState.ESTABLISHED:
+                self.state = TcpState.FIN_WAIT_1
+            elif self.state is TcpState.CLOSE_WAIT:
+                self.state = TcpState.LAST_ACK
+            self._inflight.append((seq, b"", TcpFlags.FIN | TcpFlags.ACK))
+            self._emit(TcpFlags.FIN | TcpFlags.ACK, seq=seq, ack=self.rcv_nxt)
+        if self._inflight:
+            self._arm_retransmit()
+
+    def _emit(self, flags: TcpFlags, *, seq: int, ack: int = 0, data: bytes = b"") -> None:
+        segment = TcpSegment(
+            sport=self.local_port,
+            dport=self.remote_port,
+            seq=seq,
+            ack=ack,
+            flags=flags,
+            data=data,
+        )
+        self.segments_sent += 1
+        self.stack._transmit(self.local_ip, self.remote_ip, segment)
+
+    # -- timers ---------------------------------------------------------------
+
+    def _arm_retransmit(self) -> None:
+        self._cancel_retransmit()
+        self._retransmit_handle = self.stack.node.sim.schedule(self.rto, self._on_retransmit)
+
+    def _cancel_retransmit(self) -> None:
+        if self._retransmit_handle is not None:
+            self._retransmit_handle.cancel()
+            self._retransmit_handle = None
+
+    def _on_retransmit(self) -> None:
+        self._retransmit_handle = None
+        self._retransmits += 1
+        if self._retransmits > MAX_RETRANSMITS:
+            self.abort()
+            return
+        self.rto = min(self.rto * 2, 4.0)
+        if self.state is TcpState.SYN_SENT:
+            self._emit(TcpFlags.SYN, seq=self.iss)
+        elif self.state is TcpState.SYN_RCVD:
+            self._emit(TcpFlags.SYN | TcpFlags.ACK, seq=self.iss, ack=self.rcv_nxt)
+        elif self._inflight:
+            seq, data, flags = self._inflight[0]
+            self._emit(flags, seq=seq, ack=self.rcv_nxt, data=data)
+        self._arm_retransmit()
+
+    # -- teardown ---------------------------------------------------------------
+
+    def _teardown(self, *, error: bool) -> None:
+        already_closed = self.state is TcpState.CLOSED
+        self.state = TcpState.CLOSED
+        self._cancel_retransmit()
+        self._send_buffer.clear()
+        self._inflight.clear()
+        self.stack._forget(self)
+        if not already_closed and self.on_close:
+            self.on_close(self, error)
+
+    def __repr__(self) -> str:
+        return (
+            f"TcpConnection({self.local_ip}:{self.local_port} <-> "
+            f"{self.remote_ip}:{self.remote_port} {self.state.value})"
+        )
+
+
+def _seq_gt(a: int, b: int) -> bool:
+    """True if sequence number ``a`` is after ``b`` (mod 2^32 arithmetic)."""
+    return ((a - b) & 0xFFFFFFFF) < 0x80000000 and a != b
+
+
+def _seq_span(data: bytes, flags: TcpFlags) -> int:
+    """Sequence-space footprint of a segment: its data, or 1 for SYN/FIN."""
+    if data:
+        return len(data)
+    return 1 if flags & (TcpFlags.SYN | TcpFlags.FIN) else 0
+
+
+class TcpStack:
+    """Per-node TCP: listeners, connection table, SYN-cookie validation."""
+
+    def __init__(self, node: "Node"):
+        self.node = node
+        self._listeners: dict[tuple[IPv4Address | None, int], Listener] = {}
+        self.connections: dict[ConnKey, TcpConnection] = {}
+        self._isn_counter = 1000
+        self._cookie_secret = node.sim.rng.getrandbits(64).to_bytes(8, "big")
+        self._next_ephemeral = 32768
+        #: Optional hook: CPU-seconds charged per segment processed or sent.
+        #: Receives this stack, so the cost can scale with table size.
+        self.segment_cost_fn: Callable[["TcpStack"], float] | None = None
+        self.segments_received = 0
+        self.segments_dropped_cpu = 0
+        self.segments_unroutable = 0
+        self.cookie_failures = 0
+
+    # -- public API ---------------------------------------------------------------
+
+    def listen(
+        self,
+        port: int,
+        on_connection: Callable[[TcpConnection], None],
+        *,
+        ip: IPv4Address | None = None,
+        syn_cookies: bool = False,
+    ) -> Listener:
+        key = (ip, port)
+        if key in self._listeners:
+            raise SocketError(f"{self.node.name}: TCP port {port} already listening")
+        listener = Listener(self, ip, port, on_connection, syn_cookies=syn_cookies)
+        self._listeners[key] = listener
+        return listener
+
+    def connect(
+        self,
+        dst: IPv4Address,
+        dport: int,
+        *,
+        src: IPv4Address | None = None,
+        on_established: Callable[[TcpConnection], None] | None = None,
+        on_data: Callable[[TcpConnection, bytes], None] | None = None,
+        on_close: Callable[[TcpConnection, bool], None] | None = None,
+    ) -> TcpConnection:
+        local_ip = src or self.node.address
+        local_port = self._ephemeral_port()
+        conn = TcpConnection(self, local_ip, local_port, dst, dport)
+        conn.on_established = on_established
+        conn.on_data = on_data
+        conn.on_close = on_close
+        self.connections[conn.key] = conn
+        conn._start_active()
+        return conn
+
+    # -- demux ---------------------------------------------------------------------
+
+    def demux(self, packet: Packet, segment: TcpSegment) -> None:
+        cost = self.segment_cost_fn(self) if self.segment_cost_fn else 0.0
+        if cost > 0.0:
+            if not self.node.cpu.submit(cost, self._process, packet, segment):
+                self.segments_dropped_cpu += 1
+            return
+        self._process(packet, segment)
+
+    def _process(self, packet: Packet, segment: TcpSegment) -> None:
+        self.segments_received += 1
+        key = (packet.dst, segment.dport, packet.src, segment.sport)
+        conn = self.connections.get(key)
+        if conn is not None:
+            conn.handle(segment)
+            return
+        listener = self._listener_for(packet.dst, segment.dport)
+        if listener is None:
+            return  # silently ignore, as a stealthy host would
+        if segment.has(TcpFlags.SYN) and not segment.has(TcpFlags.ACK):
+            listener.syns_received += 1
+            if listener.syn_cookies:
+                # stateless: SYN-ACK whose ISN is the cookie
+                isn = self._syn_cookie(packet.dst, segment.dport, packet.src, segment.sport)
+                reply = TcpSegment(
+                    sport=segment.dport,
+                    dport=segment.sport,
+                    seq=isn,
+                    ack=(segment.seq + 1) & 0xFFFFFFFF,
+                    flags=TcpFlags.SYN | TcpFlags.ACK,
+                )
+                self._transmit(packet.dst, packet.src, reply)
+            else:
+                conn = TcpConnection(self, packet.dst, segment.dport, packet.src, segment.sport)
+                self.connections[conn.key] = conn
+                conn._start_passive(segment)
+            return
+        if segment.has(TcpFlags.ACK) and listener.syn_cookies:
+            isn = self._syn_cookie(packet.dst, segment.dport, packet.src, segment.sport)
+            if segment.ack == (isn + 1) & 0xFFFFFFFF:
+                conn = TcpConnection(self, packet.dst, segment.dport, packet.src, segment.sport)
+                self.connections[conn.key] = conn
+                conn._start_from_cookie(segment, isn)
+                listener.on_connection(conn)
+                if segment.data or segment.has(TcpFlags.FIN):
+                    conn.handle(segment)
+            else:
+                listener.cookies_rejected += 1
+                self.cookie_failures += 1
+
+    # -- internals ---------------------------------------------------------------
+
+    def _listener_for(self, ip: IPv4Address, port: int) -> Listener | None:
+        return self._listeners.get((ip, port)) or self._listeners.get((None, port))
+
+    def _transmit(self, src: IPv4Address, dst: IPv4Address, segment: TcpSegment) -> None:
+        cost = self.segment_cost_fn(self) if self.segment_cost_fn else 0.0
+        packet = Packet(src=src, dst=dst, segment=segment)
+        if cost > 0.0:
+            if not self.node.cpu.submit(cost, self._send_packet, packet):
+                self.segments_dropped_cpu += 1
+            return
+        self._send_packet(packet)
+
+    def _send_packet(self, packet: Packet) -> None:
+        from .errors import RoutingError
+
+        try:
+            self.node.send(packet)
+        except RoutingError:
+            # replying to a spoofed/unroutable peer: the packet just vanishes
+            self.segments_unroutable += 1
+
+    def _next_isn(self) -> int:
+        self._isn_counter = (self._isn_counter + 64000) & 0xFFFFFFFF
+        return self._isn_counter
+
+    def _ephemeral_port(self) -> int:
+        port = self._next_ephemeral
+        self._next_ephemeral += 1
+        if self._next_ephemeral > 65535:
+            self._next_ephemeral = 32768
+        return port
+
+    def _syn_cookie(self, lip: IPv4Address, lport: int, rip: IPv4Address, rport: int) -> int:
+        """Stateless ISN: keyed hash of the 4-tuple (Bernstein's SYN cookie)."""
+        material = self._cookie_secret + lip.packed + rip.packed + struct.pack(
+            "!HH", lport, rport
+        )
+        digest = hashlib.md5(material).digest()
+        return struct.unpack("!I", digest[:4])[0]
+
+    def _forget(self, conn: TcpConnection) -> None:
+        self.connections.pop(conn.key, None)
+
+    @property
+    def open_connections(self) -> int:
+        return len(self.connections)

@@ -1,0 +1,133 @@
+"""Packet tracing: a tcpdump for the simulated network.
+
+A :class:`PacketTracer` taps one node's links and records every packet that
+crosses them.  Used by tests and experiments to verify, for example, the
+paper's §IV.D packet-count arithmetic — a cache-hit exchange really is 4
+packets at the guard, a cache miss 6, the fabricated variant 8.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from ipaddress import IPv4Address
+from typing import Callable
+
+from .link import Link
+from .node import Node
+from .packet import Packet, TcpSegment, UdpDatagram
+
+
+@dataclasses.dataclass(slots=True)
+class TraceRecord:
+    """One captured packet."""
+
+    time: float
+    src: IPv4Address
+    dst: IPv4Address
+    protocol: str
+    size: int
+    sport: int
+    dport: int
+    info: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.time * 1000:9.3f}ms {self.src}:{self.sport} > "
+            f"{self.dst}:{self.dport} {self.protocol} {self.size}B {self.info}"
+        )
+
+
+def _describe(packet: Packet) -> tuple[int, int, str]:
+    segment = packet.segment
+    if isinstance(segment, UdpDatagram):
+        payload = segment.payload
+        message = getattr(payload, "message", None)
+        if message is not None:
+            kind = "query" if message.is_query() else "response"
+            qname = str(message.question.qname) if message.questions else "?"
+            return segment.sport, segment.dport, f"DNS {kind} {qname}"
+        return segment.sport, segment.dport, "UDP data"
+    assert isinstance(segment, TcpSegment)
+    flags = []
+    from .packet import TcpFlags
+
+    for flag in (TcpFlags.SYN, TcpFlags.ACK, TcpFlags.FIN, TcpFlags.RST):
+        if segment.has(flag):
+            flags.append(flag.name)
+    label = "/".join(flags) or "DATA"
+    if segment.data:
+        label += f"+{len(segment.data)}B"
+    return segment.sport, segment.dport, f"TCP {label}"
+
+
+class PacketTracer:
+    """Captures packets crossing a node's links (both directions).
+
+    Installed by wrapping each link's ``transmit``; captures therefore see
+    exactly what the wire sees, including retransmissions, and drops at the
+    link layer are recorded as sent-by-the-origin attempts.
+    """
+
+    def __init__(self, node: Node, *, filter_fn: Callable[[Packet], bool] | None = None):
+        self.node = node
+        self.filter_fn = filter_fn
+        self.records: list[TraceRecord] = []
+        self._originals: list[tuple[Link, Callable]] = []
+        for link in node.links:
+            self._tap(link)
+
+    def _tap(self, link: Link) -> None:
+        original = link.transmit
+
+        def tapped(packet: Packet, sender: Node, _original=original) -> bool:
+            if self.filter_fn is None or self.filter_fn(packet):
+                sport, dport, info = _describe(packet)
+                self.records.append(
+                    TraceRecord(
+                        time=self.node.sim.now,
+                        src=packet.src,
+                        dst=packet.dst,
+                        protocol=packet.protocol,
+                        size=packet.size,
+                        sport=sport,
+                        dport=dport,
+                        info=info,
+                    )
+                )
+            return _original(packet, sender)
+
+        link.transmit = tapped  # type: ignore[method-assign]
+        self._originals.append((link, original))
+
+    def detach(self) -> None:
+        """Remove the taps, restoring the links' original transmit."""
+        for link, original in self._originals:
+            link.transmit = original  # type: ignore[method-assign]
+        self._originals.clear()
+
+    # -- analysis helpers -----------------------------------------------------
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def packets(self, *, protocol: str | None = None) -> list[TraceRecord]:
+        if protocol is None:
+            return list(self.records)
+        return [r for r in self.records if r.protocol == protocol]
+
+    def between(self, a: IPv4Address, b: IPv4Address) -> list[TraceRecord]:
+        """Packets exchanged between two addresses, either direction."""
+        return [
+            r
+            for r in self.records
+            if (r.src == a and r.dst == b) or (r.src == b and r.dst == a)
+        ]
+
+    def total_bytes(self) -> int:
+        return sum(r.size for r in self.records)
+
+    def dump(self) -> str:
+        return "\n".join(str(r) for r in self.records)

@@ -1,0 +1,57 @@
+"""EDNS-boosted amplification: bigger reflections, same guard answer."""
+
+from ipaddress import IPv4Address
+
+import pytest
+
+from repro.attack import ReflectionAttacker, VictimMeter
+from repro.dns import AuthoritativeServer, Zone
+from repro.dnswire import Name, ResourceRecord, RRClass, RRType, TXT, soa_record
+from repro.experiments.testbed import ANS_ADDRESS, GuardTestbed
+from repro.guard import UnverifiedResponseLimiter
+
+
+def huge_zone() -> Zone:
+    """~1.5 KB of TXT data: only reachable over EDNS (or TCP)."""
+    zone = Zone("foo.com.")
+    zone.add(soa_record("foo.com."))
+    big = Name.from_text("huge.foo.com")
+    for _ in range(6):
+        zone.add(ResourceRecord(big, RRType.TXT, RRClass.IN, 3600, TXT.single(b"x" * 240)))
+    return zone
+
+
+def run(guarded: bool, edns_payload: int | None):
+    bed = GuardTestbed(
+        ans="bind", zone_origin="foo.com.", guard_enabled=guarded,
+        rl1=UnverifiedResponseLimiter(per_source_rate=50.0, per_source_burst=50.0)
+        if guarded
+        else None,
+    )
+    bed.ans.zones = [huge_zone()]
+    attacker_node = bed.add_client("attacker")
+    victim_node = bed.add_client("victim")
+    meter = VictimMeter(victim_node)
+    attacker = ReflectionAttacker(
+        attacker_node, ANS_ADDRESS, victim_node.address,
+        rate=1000.0, qname="huge.foo.com", qtype=RRType.TXT,
+        edns_payload=edns_payload,
+    )
+    attacker.start()
+    bed.run(0.5)
+    attacker.stop()
+    return meter.amplification_ratio(attacker)
+
+
+class TestEdnsAmplification:
+    def test_edns_raises_unguarded_amplification(self):
+        classic = run(guarded=False, edns_payload=None)
+        edns = run(guarded=False, edns_payload=4096)
+        # classic caps at 512B responses (truncated); EDNS unlocks ~1.5KB
+        assert classic < 8
+        assert edns > 15
+        assert edns > classic * 2
+
+    def test_guard_bounds_edns_amplification_too(self):
+        ratio = run(guarded=True, edns_payload=4096)
+        assert ratio < 1.0

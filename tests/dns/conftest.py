@@ -1,0 +1,61 @@
+"""Shared fixtures: a three-level DNS hierarchy (root, com, foo.com) on a LAN."""
+
+from ipaddress import IPv4Address
+
+import pytest
+
+from repro.dns import AuthoritativeServer, LocalRecursiveServer, Zone
+from repro.dnswire import soa_record
+from repro.netsim import Link, Node, Simulator
+
+ROOT_IP = IPv4Address("198.41.0.4")
+COM_IP = IPv4Address("192.5.6.30")
+FOO_IP = IPv4Address("203.0.113.53")
+LRS_IP = IPv4Address("10.0.0.53")
+
+
+class Hierarchy:
+    """Root, com and foo.com servers plus an LRS, all joined by a router."""
+
+    def __init__(self, *, seed=0, delay=0.0002, lrs_timeout=2.0, answer_ttl=None):
+        self.sim = Simulator(seed=seed)
+        self.router = Node(self.sim, "router")
+        self.router.add_address("10.255.255.1")
+
+        def host(name, ip):
+            node = Node(self.sim, name)
+            node.add_address(ip)
+            link = Link(self.sim, node, self.router, delay=delay)
+            node.set_default_route(link)
+            self.router.add_route(f"{ip}/32", link)
+            return node
+
+        self.root_node = host("root", ROOT_IP)
+        self.com_node = host("com", COM_IP)
+        self.foo_node = host("foo", FOO_IP)
+        self.lrs_node = host("lrs", LRS_IP)
+
+        root_zone = Zone(".")
+        root_zone.add(soa_record("."))
+        root_zone.delegate("com.", "a.gtld-servers.net.", COM_IP)
+        # glue for out-of-zone NS target lives with the delegation
+        com_zone = Zone("com.")
+        com_zone.add(soa_record("com."))
+        com_zone.delegate("foo.com.", "ns1.foo.com.", FOO_IP)
+        foo_zone = Zone("foo.com.")
+        foo_zone.add(soa_record("foo.com."))
+        foo_zone.add_a("www.foo.com.", "198.51.100.80", ttl=answer_ttl or 3600)
+        foo_zone.add_a("ns1.foo.com.", FOO_IP)
+        foo_zone.add_a("mail.foo.com.", "198.51.100.25")
+
+        self.root = AuthoritativeServer(self.root_node, [root_zone])
+        self.com = AuthoritativeServer(self.com_node, [com_zone])
+        self.foo = AuthoritativeServer(self.foo_node, [foo_zone])
+        self.lrs = LocalRecursiveServer(
+            self.lrs_node, [ROOT_IP], timeout=lrs_timeout, serve_clients=True
+        )
+
+
+@pytest.fixture
+def hierarchy():
+    return Hierarchy()

@@ -1,0 +1,119 @@
+"""AXFR zone transfer and the secondary server."""
+
+from ipaddress import IPv4Address
+
+import pytest
+
+from repro.dns import AuthoritativeServer, SecondaryServer, Zone
+from repro.dnswire import Name, RRType, soa_record
+from repro.netsim import Link, Node, Simulator
+
+PRIMARY_IP = IPv4Address("203.0.113.53")
+SECONDARY_IP = IPv4Address("203.0.113.54")
+STRANGER_IP = IPv4Address("10.9.9.9")
+
+
+def build(record_count=10, allow_secondary=True, serial=7):
+    sim = Simulator(seed=1)
+    primary_node = Node(sim, "primary")
+    primary_node.add_address(PRIMARY_IP)
+    secondary_node = Node(sim, "secondary")
+    secondary_node.add_address(SECONDARY_IP)
+    stranger_node = Node(sim, "stranger")
+    stranger_node.add_address(STRANGER_IP)
+    hub = Node(sim, "hub")
+    hub.add_address("10.255.255.1")
+    for node, ip in (
+        (primary_node, PRIMARY_IP),
+        (secondary_node, SECONDARY_IP),
+        (stranger_node, STRANGER_IP),
+    ):
+        link = Link(sim, node, hub, delay=0.0002)
+        node.set_default_route(link)
+        hub.add_route(f"{ip}/32", link)
+
+    zone = Zone("foo.com.")
+    zone.add(soa_record("foo.com.", serial=serial))
+    for i in range(record_count):
+        zone.add_a(f"h{i}.foo.com.", f"198.51.{i // 250}.{i % 250 + 1}")
+    primary = AuthoritativeServer(
+        primary_node, [zone],
+        axfr_allow=[SECONDARY_IP] if allow_secondary else None,
+    )
+    secondary = SecondaryServer(secondary_node, PRIMARY_IP)
+    stranger = SecondaryServer(stranger_node, PRIMARY_IP)
+    return sim, zone, primary, secondary, stranger
+
+
+def do_transfer(sim, secondary, origin="foo.com."):
+    results = []
+    secondary.transfer(origin, results.append)
+    sim.run(until=sim.now + 10.0)
+    assert results, "transfer never completed"
+    return results[0]
+
+
+class TestAxfr:
+    def test_full_zone_transferred(self):
+        sim, zone, primary, secondary, _ = build(record_count=10)
+        result = do_transfer(sim, secondary)
+        assert result.status == "ok"
+        assert result.serial == 7
+        assert result.records == zone.record_count()
+        assert primary.axfr_served == 1
+
+    def test_transferred_zone_answers_queries(self):
+        sim, zone, primary, secondary, _ = build()
+        result = do_transfer(sim, secondary)
+        lookup = result.zone.lookup(Name.from_text("h3.foo.com."), RRType.A)
+        assert lookup.records
+        assert secondary.serials[Name.from_text("foo.com.")] == 7
+
+    def test_large_zone_spans_multiple_messages(self):
+        sim, zone, primary, secondary, _ = build(record_count=250)
+        result = do_transfer(sim, secondary)
+        assert result.status == "ok"
+        assert result.records == zone.record_count()
+
+    def test_unauthorised_requester_refused(self):
+        sim, zone, primary, secondary, stranger = build()
+        result = do_transfer(sim, stranger)
+        assert result.status == "refused"
+        assert primary.axfr_refused == 1
+
+    def test_axfr_disabled_by_default(self):
+        sim, zone, primary, secondary, _ = build(allow_secondary=False)
+        result = do_transfer(sim, secondary)
+        assert result.status == "refused"
+
+    def test_unknown_zone_refused(self):
+        sim, zone, primary, secondary, _ = build()
+        result = do_transfer(sim, secondary, origin="bar.org.")
+        assert result.status == "refused"
+
+    def test_timeout_when_primary_dark(self):
+        sim, zone, primary, secondary, _ = build()
+        primary.node.tcp._listeners.clear()
+        secondary.timeout = 0.5
+        result = do_transfer(sim, secondary)
+        assert result.status in ("timeout", "error")
+        assert secondary.transfers_failed == 1
+
+    def test_secondary_serves_transferred_zone(self):
+        """End to end: transfer, stand up an ANS on the secondary, query it."""
+        from repro.dnswire import make_query
+
+        sim, zone, primary, secondary, _ = build()
+        result = do_transfer(sim, secondary)
+        AuthoritativeServer(secondary.node, [result.zone])
+        client = Node(sim, "client")
+        client.add_address("10.0.0.1")
+        hub = primary.node.links[0].other(primary.node)
+        link = Link(sim, client, hub, delay=0.0002)
+        client.set_default_route(link)
+        hub.add_route("10.0.0.1/32", link)
+        answers = []
+        sock = client.udp.bind_ephemeral(lambda p, s, sp, d: answers.append(p))
+        sock.send(make_query("h5.foo.com.", msg_id=1), SECONDARY_IP, 53)
+        sim.run(until=sim.now + 1.0)
+        assert answers and answers[0].answers

@@ -1,0 +1,83 @@
+"""Unit tests for the resolver cache."""
+
+from repro.dns import DnsCache
+from repro.dnswire import Name, RRType, a_record
+
+
+WWW = Name.from_text("www.foo.com")
+
+
+class TestDnsCache:
+    def test_put_get_round_trip(self):
+        cache = DnsCache()
+        cache.put(WWW, RRType.A, [a_record(WWW, "1.2.3.4", ttl=60)], now=0.0)
+        got = cache.get(WWW, RRType.A, now=10.0)
+        assert got is not None
+        assert got[0].rdata.address.exploded == "1.2.3.4"
+
+    def test_expiry(self):
+        cache = DnsCache()
+        cache.put(WWW, RRType.A, [a_record(WWW, "1.2.3.4", ttl=60)], now=0.0)
+        assert cache.get(WWW, RRType.A, now=59.9) is not None
+        assert cache.get(WWW, RRType.A, now=60.0) is None
+
+    def test_ttl_zero_never_cached(self):
+        cache = DnsCache()
+        cache.put(WWW, RRType.A, [a_record(WWW, "1.2.3.4", ttl=0)], now=0.0)
+        assert cache.get(WWW, RRType.A, now=0.0) is None
+
+    def test_ttl_ages_down(self):
+        cache = DnsCache()
+        cache.put(WWW, RRType.A, [a_record(WWW, "1.2.3.4", ttl=100)], now=0.0)
+        got = cache.get(WWW, RRType.A, now=40.0)
+        assert got[0].ttl == 60
+
+    def test_rrset_ttl_is_minimum(self):
+        cache = DnsCache()
+        cache.put(
+            WWW,
+            RRType.A,
+            [a_record(WWW, "1.2.3.4", ttl=100), a_record(WWW, "1.2.3.5", ttl=10)],
+            now=0.0,
+        )
+        assert cache.get(WWW, RRType.A, now=11.0) is None
+
+    def test_lru_bound(self):
+        cache = DnsCache(max_entries=3)
+        for i in range(5):
+            name = Name.from_text(f"h{i}.foo.com")
+            cache.put(name, RRType.A, [a_record(name, "1.2.3.4", ttl=60)], now=0.0)
+        assert len(cache) == 3
+        assert cache.get(Name.from_text("h0.foo.com"), RRType.A, now=0.0) is None
+        assert cache.get(Name.from_text("h4.foo.com"), RRType.A, now=0.0) is not None
+
+    def test_get_refreshes_lru_position(self):
+        cache = DnsCache(max_entries=2)
+        a, b, c = (Name.from_text(f"{x}.foo.com") for x in "abc")
+        cache.put(a, RRType.A, [a_record(a, "1.1.1.1", ttl=60)], now=0.0)
+        cache.put(b, RRType.A, [a_record(b, "2.2.2.2", ttl=60)], now=0.0)
+        cache.get(a, RRType.A, now=0.0)  # touch a so b becomes LRU
+        cache.put(c, RRType.A, [a_record(c, "3.3.3.3", ttl=60)], now=0.0)
+        assert cache.get(a, RRType.A, now=0.0) is not None
+        assert cache.get(b, RRType.A, now=0.0) is None
+
+    def test_hit_miss_counters(self):
+        cache = DnsCache()
+        cache.get(WWW, RRType.A, now=0.0)
+        cache.put(WWW, RRType.A, [a_record(WWW, "1.2.3.4", ttl=60)], now=0.0)
+        cache.get(WWW, RRType.A, now=0.0)
+        assert cache.misses == 1 and cache.hits == 1
+
+    def test_evict_and_flush(self):
+        cache = DnsCache()
+        cache.put(WWW, RRType.A, [a_record(WWW, "1.2.3.4", ttl=60)], now=0.0)
+        cache.evict(WWW, RRType.A)
+        assert cache.get(WWW, RRType.A, now=0.0) is None
+        cache.put(WWW, RRType.A, [a_record(WWW, "1.2.3.4", ttl=60)], now=0.0)
+        cache.flush()
+        assert len(cache) == 0
+
+    def test_empty_put_ignored(self):
+        cache = DnsCache()
+        cache.put(WWW, RRType.A, [], now=0.0)
+        assert len(cache) == 0

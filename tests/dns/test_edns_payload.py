@@ -1,0 +1,85 @@
+"""EDNS(0) UDP payload-size negotiation at the authoritative server."""
+
+from ipaddress import IPv4Address
+
+import pytest
+
+from repro.dns import AuthoritativeServer, Zone
+from repro.dnswire import (
+    MAX_UDP_PAYLOAD,
+    Message,
+    Name,
+    OPT,
+    ResourceRecord,
+    RRClass,
+    RRType,
+    TXT,
+    make_query,
+    soa_record,
+)
+from repro.netsim import Link, Node, Simulator
+
+ANS_IP = IPv4Address("203.0.113.53")
+
+
+def big_answer_setup():
+    sim = Simulator()
+    ans_node = Node(sim, "ans")
+    ans_node.add_address(ANS_IP)
+    client = Node(sim, "client")
+    client.add_address("10.0.0.1")
+    Link(sim, ans_node, client, delay=0.0002)
+    zone = Zone("foo.com.")
+    zone.add(soa_record("foo.com."))
+    for _ in range(6):
+        zone.add(
+            ResourceRecord(
+                Name.from_text("big.foo.com"), RRType.TXT, RRClass.IN, 60,
+                TXT.single(bytes(200)),
+            )
+        )
+    AuthoritativeServer(ans_node, [zone])
+    return sim, client
+
+
+def with_opt(query: Message, payload_size: int) -> Message:
+    query.additionals.append(
+        ResourceRecord(Name.root(), RRType.OPT, payload_size, 0, OPT())
+    )
+    return query
+
+
+class TestEdnsPayload:
+    def ask(self, sim, client, query):
+        responses = []
+        sock = client.udp.bind_ephemeral(lambda p, s, sp, d: responses.append(p))
+        sock.send(query, ANS_IP, 53)
+        sim.run(until=sim.now + 1.0)
+        return responses[0]
+
+    def test_classic_client_gets_truncation(self):
+        sim, client = big_answer_setup()
+        response = self.ask(sim, client, make_query("big.foo.com", RRType.TXT, msg_id=1))
+        assert response.header.tc
+        assert response.wire_size() <= MAX_UDP_PAYLOAD
+
+    def test_edns_client_gets_full_answer(self):
+        sim, client = big_answer_setup()
+        query = with_opt(make_query("big.foo.com", RRType.TXT, msg_id=2), 4096)
+        response = self.ask(sim, client, query)
+        assert not response.header.tc
+        assert len(response.answers) == 6
+        assert response.wire_size() > MAX_UDP_PAYLOAD
+
+    def test_small_advertisement_still_floors_at_512(self):
+        sim, client = big_answer_setup()
+        query = with_opt(make_query("big.foo.com", RRType.TXT, msg_id=3), 100)
+        response = self.ask(sim, client, query)
+        assert response.header.tc  # 512-byte floor applies, answer is bigger
+
+    def test_edns_advertisement_between_512_and_answer(self):
+        sim, client = big_answer_setup()
+        query = with_opt(make_query("big.foo.com", RRType.TXT, msg_id=4), 900)
+        response = self.ask(sim, client, query)
+        assert response.header.tc
+        assert response.wire_size() <= 900

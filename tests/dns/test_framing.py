@@ -1,0 +1,59 @@
+"""Unit tests for DNS-over-TCP stream framing."""
+
+import pytest
+
+from repro.dns import StreamFramer, frame
+from repro.dnswire import make_query
+
+
+class TestFraming:
+    def test_frame_prefixes_length(self):
+        query = make_query("www.foo.com", msg_id=1)
+        framed = frame(query)
+        wire = query.encode()
+        assert framed[:2] == len(wire).to_bytes(2, "big")
+        assert framed[2:] == wire
+
+    def test_single_message_round_trip(self):
+        framer = StreamFramer()
+        query = make_query("www.foo.com", msg_id=7)
+        (decoded,) = framer.feed(frame(query))
+        assert decoded.header.msg_id == 7
+
+    def test_byte_by_byte_delivery(self):
+        framer = StreamFramer()
+        data = frame(make_query("www.foo.com", msg_id=9))
+        messages = []
+        for i in range(len(data)):
+            messages.extend(framer.feed(data[i : i + 1]))
+        assert len(messages) == 1
+        assert messages[0].header.msg_id == 9
+        assert framer.pending_bytes == 0
+
+    def test_two_messages_in_one_chunk(self):
+        framer = StreamFramer()
+        blob = frame(make_query("a.com", msg_id=1)) + frame(make_query("b.com", msg_id=2))
+        messages = framer.feed(blob)
+        assert [m.header.msg_id for m in messages] == [1, 2]
+
+    def test_partial_second_message_waits(self):
+        framer = StreamFramer()
+        first = frame(make_query("a.com", msg_id=1))
+        second = frame(make_query("b.com", msg_id=2))
+        messages = framer.feed(first + second[:3])
+        assert len(messages) == 1
+        assert framer.pending_bytes == 3
+        messages = framer.feed(second[3:])
+        assert len(messages) == 1
+
+    def test_oversize_message_rejected(self):
+        from repro.dnswire import Message, Name, ResourceRecord, RRClass, RRType, TXT
+
+        msg = Message()
+        for _ in range(400):
+            msg.answers.append(
+                ResourceRecord(Name.from_text("x.com"), RRType.TXT, RRClass.IN, 1,
+                               TXT.single(b"y" * 250))
+            )
+        with pytest.raises(ValueError):
+            frame(msg)

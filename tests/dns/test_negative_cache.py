@@ -1,0 +1,91 @@
+"""Negative caching (RFC 2308) in the cache and the resolver."""
+
+import pytest
+
+from repro.dns import DnsCache
+from repro.dnswire import Name, RRType
+from tests.dns.conftest import Hierarchy
+
+
+WWW = Name.from_text("ghost.foo.com")
+
+
+class TestNegativeCacheUnit:
+    def test_put_and_check(self):
+        cache = DnsCache()
+        cache.put_negative(WWW, RRType.A, ttl=30.0, now=0.0)
+        assert cache.is_negative(WWW, RRType.A, now=10.0)
+
+    def test_expiry(self):
+        cache = DnsCache()
+        cache.put_negative(WWW, RRType.A, ttl=30.0, now=0.0)
+        assert not cache.is_negative(WWW, RRType.A, now=30.0)
+
+    def test_zero_ttl_not_cached(self):
+        cache = DnsCache()
+        cache.put_negative(WWW, RRType.A, ttl=0.0, now=0.0)
+        assert not cache.is_negative(WWW, RRType.A, now=0.0)
+
+    def test_type_specific(self):
+        cache = DnsCache()
+        cache.put_negative(WWW, RRType.A, ttl=30.0, now=0.0)
+        assert not cache.is_negative(WWW, RRType.MX, now=0.0)
+
+    def test_flush_and_evict_clear_negatives(self):
+        cache = DnsCache()
+        cache.put_negative(WWW, RRType.A, ttl=30.0, now=0.0)
+        cache.evict(WWW, RRType.A)
+        assert not cache.is_negative(WWW, RRType.A, now=0.0)
+        cache.put_negative(WWW, RRType.A, ttl=30.0, now=0.0)
+        cache.flush()
+        assert not cache.is_negative(WWW, RRType.A, now=0.0)
+
+    def test_negative_hit_counter(self):
+        cache = DnsCache()
+        cache.put_negative(WWW, RRType.A, ttl=30.0, now=0.0)
+        cache.is_negative(WWW, RRType.A, now=1.0)
+        assert cache.negative_hits == 1
+
+    def test_bounded(self):
+        cache = DnsCache(max_entries=4)
+        for i in range(10):
+            cache.put_negative(Name.from_text(f"n{i}.x"), RRType.A, 30.0, 0.0)
+        assert len(cache._negative) == 4
+
+
+class TestResolverNegativeCaching:
+    def test_second_nxdomain_served_from_cache(self):
+        h = Hierarchy()
+        results = []
+        h.lrs.resolve("ghost.foo.com", RRType.A, results.append)
+        h.sim.run(until=h.sim.now + 5.0)
+        assert results[0].status == "nxdomain"
+        served_before = h.foo.requests_served
+
+        h.lrs.resolve("ghost.foo.com", RRType.A, results.append)
+        h.sim.run(until=h.sim.now + 5.0)
+        assert results[1].status == "nxdomain"
+        # no new query hit the authoritative server
+        assert h.foo.requests_served == served_before
+        assert results[1].latency == 0.0  # answered synchronously
+
+    def test_negative_entry_expires(self):
+        h = Hierarchy()
+        results = []
+        h.lrs.resolve("ghost.foo.com", RRType.A, results.append)
+        h.sim.run(until=h.sim.now + 5.0)
+        served_before = h.foo.requests_served
+        # the testbed SOA minimum is 300 s: jump past it
+        h.sim.run(until=h.sim.now + 301.0)
+        h.lrs.resolve("ghost.foo.com", RRType.A, results.append)
+        h.sim.run(until=h.sim.now + 5.0)
+        assert h.foo.requests_served == served_before + 1
+
+    def test_positive_name_not_affected(self):
+        h = Hierarchy()
+        results = []
+        h.lrs.resolve("ghost.foo.com", RRType.A, results.append)
+        h.sim.run(until=h.sim.now + 5.0)
+        h.lrs.resolve("www.foo.com", RRType.A, results.append)
+        h.sim.run(until=h.sim.now + 5.0)
+        assert results[1].ok

@@ -1,0 +1,151 @@
+"""Integration-grade tests for the recursive resolver over a real hierarchy."""
+
+from ipaddress import IPv4Address
+
+import pytest
+
+from repro.dnswire import Name, RRType
+from tests.dns.conftest import Hierarchy, FOO_IP
+
+
+def resolve(h, name, qtype=RRType.A, run_for=30.0):
+    results = []
+    h.lrs.resolve(name, qtype, results.append)
+    h.sim.run(until=h.sim.now + run_for)
+    assert results, "resolution never completed"
+    return results[0]
+
+
+class TestIterativeResolution:
+    def test_full_chain_root_com_foo(self, hierarchy):
+        result = resolve(hierarchy, "www.foo.com")
+        assert result.ok
+        assert result.addresses() == [IPv4Address("198.51.100.80")]
+        # root referral, com referral, foo answer
+        assert hierarchy.root.referrals_sent == 1
+        assert hierarchy.com.referrals_sent == 1
+        assert hierarchy.foo.answers_sent == 1
+
+    def test_second_query_served_from_cache(self, hierarchy):
+        resolve(hierarchy, "www.foo.com")
+        sent_before = hierarchy.lrs.queries_sent
+        result = resolve(hierarchy, "www.foo.com")
+        assert result.ok
+        assert hierarchy.lrs.queries_sent == sent_before  # pure cache hit
+
+    def test_sibling_query_reuses_delegations(self, hierarchy):
+        resolve(hierarchy, "www.foo.com")
+        resolve(hierarchy, "mail.foo.com")
+        # foo.com's ANS is queried directly the second time
+        assert hierarchy.root.requests_served == 1
+        assert hierarchy.com.requests_served == 1
+        assert hierarchy.foo.requests_served == 2
+
+    def test_nxdomain_propagates(self, hierarchy):
+        result = resolve(hierarchy, "missing.foo.com")
+        assert result.status == "nxdomain"
+
+    def test_latency_counts_round_trips(self, hierarchy):
+        result = resolve(hierarchy, "www.foo.com")
+        # three query/response exchanges at 0.4 ms RTT each (two router hops)
+        assert result.latency == pytest.approx(3 * 0.0008, rel=0.2)
+        assert result.queries_sent == 3
+
+    def test_timeout_when_all_servers_dead(self):
+        h = Hierarchy(lrs_timeout=0.05)
+        h.root_node.udp._sockets.clear()  # root goes dark
+        h.lrs.cache.flush()
+        results = []
+        h.lrs.resolve("www.foo.com", RRType.A, results.append)
+        h.sim.run(until=10.0)
+        assert results and results[0].status == "timeout"
+
+    def test_retry_recovers_from_packet_loss(self):
+        h = Hierarchy(seed=5, lrs_timeout=0.05)
+        h.lrs.retries = 12
+        # make the LRS uplink lossy
+        h.lrs_node.links[0].loss = 0.3
+        results = []
+        h.lrs.resolve("www.foo.com", RRType.A, results.append)
+        h.sim.run(until=20.0)
+        assert results and results[0].ok
+
+    def test_glueless_delegation_triggers_subresolution(self, hierarchy):
+        """A referral whose NS has no glue forces resolving the NS name —
+        the exact behaviour the NS-name cookie scheme relies on."""
+        from repro.dns import Zone
+        from repro.dnswire import ns_record, soa_record
+
+        # com delegates foo.com to an out-of-bailiwick NS name (no glue) and
+        # separately delegates foo-ns.com (with glue) to the foo server,
+        # which also serves the foo-ns.com zone holding the NS target's A.
+        com_zone = Zone("com.")
+        com_zone.add(soa_record("com."))
+        com_zone.add(ns_record("foo.com.", "ns.foo-ns.com.", ttl=3600))
+        com_zone.delegate("foo-ns.com.", "ns1.foo-ns.com.", FOO_IP)
+        hierarchy.com.zones = [com_zone]
+        foons_zone = Zone("foo-ns.com.")
+        foons_zone.add(soa_record("foo-ns.com."))
+        foons_zone.add_a("ns.foo-ns.com.", FOO_IP)
+        hierarchy.foo.zones.append(foons_zone)
+        hierarchy.foo.zones.sort(key=lambda z: len(z.origin), reverse=True)
+
+        result = resolve(hierarchy, "www.foo.com")
+        assert result.ok
+        # com was asked twice: for www.foo.com (glueless referral) and for
+        # the NS target's address (referral to foo-ns.com)
+        assert hierarchy.com.requests_served == 2
+
+    def test_cname_chase_across_resolution(self, hierarchy):
+        from repro.dnswire import CNAME, ResourceRecord, RRClass
+
+        foo_zone = hierarchy.foo.zones[0]
+        foo_zone.add(
+            ResourceRecord(
+                Name.from_text("alias.foo.com"), RRType.CNAME, RRClass.IN, 300,
+                CNAME(Name.from_text("www.foo.com")),
+            )
+        )
+        result = resolve(hierarchy, "alias.foo.com")
+        assert result.ok
+        assert result.addresses() == [IPv4Address("198.51.100.80")]
+
+    def test_ttl_zero_answers_not_cached(self):
+        h = Hierarchy(answer_ttl=None)
+        # override answer TTL to zero at the foo server
+        h.foo.answer_ttl_override = 0
+        resolve(h, "www.foo.com")
+        first = h.foo.requests_served
+        resolve(h, "www.foo.com")
+        assert h.foo.requests_served == first + 1  # re-queried, not cached
+
+
+class TestStubFrontDoor:
+    def test_stub_query_through_lrs(self, hierarchy):
+        from repro.dns import StubResolver
+        from repro.netsim import Link, Node
+
+        stub_node = Node(hierarchy.sim, "laptop")
+        stub_node.add_address("10.0.0.99")
+        link = Link(hierarchy.sim, stub_node, hierarchy.router, delay=0.0001)
+        hierarchy.router.add_route("10.0.0.99/32", link)
+        stub = StubResolver(stub_node, IPv4Address("10.0.0.53"))
+        results = []
+        stub.query("www.foo.com", RRType.A, results.append)
+        hierarchy.sim.run(until=30.0)
+        assert results and results[0].ok
+        assert results[0].addresses() == [IPv4Address("198.51.100.80")]
+
+    def test_stub_gets_nxdomain(self, hierarchy):
+        from repro.dns import StubResolver
+        from repro.netsim import Link, Node
+
+        stub_node = Node(hierarchy.sim, "laptop")
+        stub_node.add_address("10.0.0.99")
+        link = Link(hierarchy.sim, stub_node, hierarchy.router, delay=0.0001)
+        hierarchy.router.add_route("10.0.0.99/32", link)
+        stub = StubResolver(stub_node, IPv4Address("10.0.0.53"))
+        results = []
+        stub.query("nothere.foo.com", RRType.A, results.append)
+        hierarchy.sim.run(until=30.0)
+        assert results and results[0].status == "nxdomain"

@@ -1,0 +1,144 @@
+"""Unit tests for zone data and the master-file parser."""
+
+from ipaddress import IPv4Address
+
+import pytest
+
+from repro.dns import AnswerKind, Zone, parse_zone_text
+from repro.dnswire import Name, RRType, a_record, soa_record
+
+
+def foo_zone() -> Zone:
+    zone = Zone("foo.com")
+    zone.add(soa_record("foo.com", serial=1))
+    zone.add_a("www.foo.com", "198.51.100.10")
+    zone.add_a("www.foo.com", "198.51.100.11")
+    zone.add_a("mail.foo.com", "198.51.100.20")
+    zone.delegate("sub.foo.com", "ns1.sub.foo.com", "203.0.113.5")
+    return zone
+
+
+class TestLookup:
+    def test_authoritative_answer(self):
+        result = foo_zone().lookup(Name.from_text("www.foo.com"), RRType.A)
+        assert result.kind is AnswerKind.ANSWER
+        assert len(result.records) == 2
+
+    def test_nxdomain_carries_soa(self):
+        result = foo_zone().lookup(Name.from_text("nope.foo.com"), RRType.A)
+        assert result.kind is AnswerKind.NXDOMAIN
+        assert result.authority and result.authority[0].rtype == RRType.SOA
+
+    def test_nodata_for_missing_type(self):
+        result = foo_zone().lookup(Name.from_text("www.foo.com"), RRType.MX)
+        assert result.kind is AnswerKind.NODATA
+
+    def test_delegation_with_glue(self):
+        result = foo_zone().lookup(Name.from_text("host.sub.foo.com"), RRType.A)
+        assert result.kind is AnswerKind.DELEGATION
+        assert result.is_referral
+        assert result.authority[0].rtype == RRType.NS
+        assert result.additional[0].rdata.address == IPv4Address("203.0.113.5")
+
+    def test_delegation_applies_to_names_below_cut(self):
+        result = foo_zone().lookup(Name.from_text("deep.deeper.sub.foo.com"), RRType.A)
+        assert result.kind is AnswerKind.DELEGATION
+
+    def test_name_outside_zone_is_nxdomain(self):
+        result = foo_zone().lookup(Name.from_text("www.bar.org"), RRType.A)
+        assert result.kind is AnswerKind.NXDOMAIN
+
+    def test_cname_detected(self):
+        zone = foo_zone()
+        from repro.dnswire import CNAME, ResourceRecord, RRClass
+
+        zone.add(
+            ResourceRecord(
+                Name.from_text("alias.foo.com"), RRType.CNAME, RRClass.IN, 60,
+                CNAME(Name.from_text("www.foo.com")),
+            )
+        )
+        result = zone.lookup(Name.from_text("alias.foo.com"), RRType.A)
+        assert result.kind is AnswerKind.CNAME
+
+    def test_add_outside_origin_rejected(self):
+        with pytest.raises(ValueError):
+            foo_zone().add(a_record("www.bar.org", "1.1.1.1"))
+
+    def test_record_count_and_contains(self):
+        zone = foo_zone()
+        assert zone.record_count() >= 5
+        assert Name.from_text("www.foo.com") in zone
+        assert Name.from_text("ghost.foo.com") not in zone
+
+
+ZONE_TEXT = """
+$ORIGIN foo.com.
+$TTL 300
+@   IN SOA ns1 hostmaster 1 7200 1800 1209600 300
+@   IN NS  ns1
+ns1 IN A   192.0.2.53
+www 600 IN A 192.0.2.80
+www IN A 192.0.2.81
+    IN A 192.0.2.82 ; continuation uses previous owner
+mail IN MX 10 mx1.foo.com.
+alias IN CNAME www
+note IN TXT "hello world"
+sub IN NS ns1.sub
+ns1.sub IN A 203.0.113.99
+"""
+
+
+class TestZoneParser:
+    def test_parses_origin_and_records(self):
+        zone = parse_zone_text(ZONE_TEXT)
+        assert zone.origin == Name.from_text("foo.com")
+        result = zone.lookup(Name.from_text("www.foo.com"), RRType.A)
+        assert result.kind is AnswerKind.ANSWER
+        assert len(result.records) == 3
+
+    def test_explicit_ttl_honoured(self):
+        zone = parse_zone_text(ZONE_TEXT)
+        result = zone.lookup(Name.from_text("www.foo.com"), RRType.A)
+        assert 600 in {rr.ttl for rr in result.records}
+
+    def test_default_ttl_applied(self):
+        zone = parse_zone_text(ZONE_TEXT)
+        result = zone.lookup(Name.from_text("ns1.foo.com"), RRType.A)
+        assert result.records[0].ttl == 300
+
+    def test_relative_names_resolved(self):
+        zone = parse_zone_text(ZONE_TEXT)
+        result = zone.lookup(Name.from_text("alias.foo.com"), RRType.CNAME)
+        assert result.records[0].rdata.target == Name.from_text("www.foo.com")
+
+    def test_delegation_parsed(self):
+        zone = parse_zone_text(ZONE_TEXT)
+        result = zone.lookup(Name.from_text("x.sub.foo.com"), RRType.A)
+        assert result.kind is AnswerKind.DELEGATION
+
+    def test_mx_parsed(self):
+        zone = parse_zone_text(ZONE_TEXT)
+        result = zone.lookup(Name.from_text("mail.foo.com"), RRType.MX)
+        assert result.records[0].rdata.preference == 10
+
+    def test_txt_parsed(self):
+        zone = parse_zone_text(ZONE_TEXT)
+        result = zone.lookup(Name.from_text("note.foo.com"), RRType.TXT)
+        assert result.kind is AnswerKind.ANSWER
+
+    def test_empty_zone_rejected(self):
+        with pytest.raises(ValueError):
+            parse_zone_text("; only a comment\n")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            parse_zone_text("$ORIGIN x.\nfoo IN WKS boom\n")
+
+    def test_missing_origin_rejected(self):
+        with pytest.raises(ValueError):
+            parse_zone_text("www IN A 1.2.3.4\n")
+
+    def test_origin_argument_used(self):
+        zone = parse_zone_text("www IN A 192.0.2.1\n", origin="bar.org")
+        assert zone.lookup(Name.from_text("www.bar.org"), RRType.A).kind is AnswerKind.ANSWER

@@ -1,0 +1,93 @@
+"""Wildcard synthesis (RFC 1034 §4.3.3) and SRV records."""
+
+from ipaddress import IPv4Address
+
+import pytest
+
+from repro.dns import AnswerKind, Zone, parse_zone_text
+from repro.dnswire import Message, Name, RRType, SRV, soa_record
+
+
+def wild_zone() -> Zone:
+    zone = Zone("foo.com")
+    zone.add(soa_record("foo.com"))
+    zone.add_a("www.foo.com", "198.51.100.80")
+    zone.add_a("*.foo.com", "198.51.100.99")
+    zone.add_a("exact.dyn.foo.com", "198.51.100.50")
+    return zone
+
+
+class TestWildcards:
+    def test_wildcard_synthesizes_missing_name(self):
+        result = wild_zone().lookup(Name.from_text("anything.foo.com"), RRType.A)
+        assert result.kind is AnswerKind.ANSWER
+        assert result.records[0].rdata.address == IPv4Address("198.51.100.99")
+        # the owner name is rewritten to the query name
+        assert result.records[0].name == Name.from_text("anything.foo.com")
+
+    def test_exact_match_beats_wildcard(self):
+        result = wild_zone().lookup(Name.from_text("www.foo.com"), RRType.A)
+        assert result.records[0].rdata.address == IPv4Address("198.51.100.80")
+
+    def test_existing_node_blocks_wildcard_above(self):
+        """'exact.dyn.foo.com' exists, so its closest encloser is itself for
+        deeper names — the apex wildcard must not match below it."""
+        zone = wild_zone()
+        result = zone.lookup(Name.from_text("sub.exact.dyn.foo.com"), RRType.A)
+        assert result.kind is AnswerKind.NXDOMAIN
+
+    def test_wildcard_at_deeper_level(self):
+        zone = wild_zone()
+        zone.add_a("*.exact.dyn.foo.com", "198.51.100.51")
+        result = zone.lookup(Name.from_text("sub.exact.dyn.foo.com"), RRType.A)
+        assert result.records[0].rdata.address == IPv4Address("198.51.100.51")
+
+    def test_wildcard_nodata_for_missing_type(self):
+        result = wild_zone().lookup(Name.from_text("anything.foo.com"), RRType.MX)
+        assert result.kind is AnswerKind.NODATA
+
+    def test_wildcard_not_used_for_multilabel_gap(self):
+        """a.b.foo.com: the closest encloser is the apex (b.foo.com doesn't
+        exist), so the apex wildcard applies (RFC 1034 semantics)."""
+        result = wild_zone().lookup(Name.from_text("a.b.foo.com"), RRType.A)
+        assert result.kind is AnswerKind.ANSWER
+
+    def test_wildcard_in_zone_file(self):
+        zone = parse_zone_text(
+            "$ORIGIN dyn.example.\n@ IN SOA ns1 h 1 2 3 4 5\n* IN A 10.0.0.1\n"
+        )
+        result = zone.lookup(Name.from_text("host42.dyn.example"), RRType.A)
+        assert result.kind is AnswerKind.ANSWER
+
+
+class TestSrv:
+    def test_wire_round_trip(self):
+        from repro.dnswire import ResourceRecord, RRClass, make_query, make_response
+
+        rr = ResourceRecord(
+            Name.from_text("_dns._tcp.foo.com"), RRType.SRV, RRClass.IN, 300,
+            SRV(10, 60, 53, Name.from_text("ns1.foo.com")),
+        )
+        response = make_response(make_query("_dns._tcp.foo.com", RRType.SRV))
+        response.answers.append(rr)
+        decoded = Message.decode(response.encode())
+        srv = decoded.answers[0].rdata
+        assert (srv.priority, srv.weight, srv.port) == (10, 60, 53)
+        assert srv.target == Name.from_text("ns1.foo.com")
+
+    def test_zone_file_srv(self):
+        zone = parse_zone_text(
+            "$ORIGIN foo.com.\n"
+            "@ IN SOA ns1 h 1 2 3 4 5\n"
+            "_dns._tcp IN SRV 0 5 53 ns1\n"
+            "ns1 IN A 10.0.0.53\n"
+        )
+        result = zone.lookup(Name.from_text("_dns._tcp.foo.com"), RRType.SRV)
+        assert result.kind is AnswerKind.ANSWER
+        assert result.records[0].rdata.port == 53
+
+    def test_short_srv_rejected(self):
+        from repro.dnswire import DecodeError
+
+        with pytest.raises(DecodeError):
+            SRV.decode(b"\x00\x01\x00", 0, 3)

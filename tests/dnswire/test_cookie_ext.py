@@ -1,0 +1,97 @@
+"""Unit tests for the modified-DNS cookie extension (Fig 3b)."""
+
+import pytest
+
+from repro.dnswire import (
+    COOKIE_LENGTH,
+    Message,
+    Name,
+    RRType,
+    TXT,
+    ZERO_COOKIE,
+    attach_cookie,
+    cookie_rr,
+    extract_cookie,
+    is_cookie_request,
+    make_query,
+    strip_cookie,
+)
+from repro.dnswire.message import ResourceRecord
+from repro.dnswire.types import RRClass
+
+
+COOKIE = bytes(range(16))
+
+
+class TestCookieExtension:
+    def test_attach_and_extract(self):
+        query = make_query("www.foo.com")
+        attach_cookie(query, COOKIE)
+        assert extract_cookie(query) == COOKIE
+
+    def test_survives_wire_round_trip(self):
+        query = attach_cookie(make_query("www.foo.com", msg_id=3), COOKIE)
+        decoded = Message.decode(query.encode())
+        assert extract_cookie(decoded) == COOKIE
+
+    def test_attach_replaces_existing(self):
+        query = attach_cookie(make_query("a.com"), COOKIE)
+        attach_cookie(query, b"\xff" * 16)
+        assert extract_cookie(query) == b"\xff" * 16
+        assert len(query.additionals) == 1
+
+    def test_strip_removes_cookie(self):
+        query = attach_cookie(make_query("a.com"), COOKIE)
+        strip_cookie(query)
+        assert extract_cookie(query) is None
+        assert query.additionals == []
+
+    def test_strip_preserves_other_additionals(self):
+        query = make_query("a.com")
+        other = ResourceRecord(
+            Name.from_text("note.a.com"), RRType.TXT, RRClass.IN, 60, TXT.single(b"hello")
+        )
+        query.additionals.append(other)
+        attach_cookie(query, COOKIE)
+        strip_cookie(query)
+        assert query.additionals == [other]
+
+    def test_plain_query_is_not_cookie_capable(self):
+        assert extract_cookie(make_query("a.com")) is None
+
+    def test_zero_cookie_is_request(self):
+        query = attach_cookie(make_query("a.com"), ZERO_COOKIE)
+        assert is_cookie_request(query)
+
+    def test_real_cookie_is_not_request(self):
+        query = attach_cookie(make_query("a.com"), COOKIE)
+        assert not is_cookie_request(query)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            cookie_rr(b"short")
+
+    def test_cookie_rr_shape_matches_figure_3b(self):
+        rr = cookie_rr(COOKIE)
+        assert rr.name.is_root()
+        assert rr.rtype == RRType.TXT
+        assert rr.ttl == 0
+        assert rr.rdata.payload == COOKIE
+
+    def test_request_and_grant_same_size(self):
+        """Message 2 and message 3 of Fig 3a must match in size (no amplification)."""
+        request = attach_cookie(make_query("www.foo.com", msg_id=1), ZERO_COOKIE)
+        grant = attach_cookie(make_query("www.foo.com", msg_id=1), COOKIE)
+        grant.header.qr = True
+        assert abs(request.wire_size() - grant.wire_size()) == 0
+
+    def test_unrelated_long_txt_not_mistaken_for_cookie(self):
+        query = make_query("a.com")
+        query.additionals.append(
+            ResourceRecord(Name.root(), RRType.TXT, RRClass.IN, 0, TXT.single(b"x" * 20))
+        )
+        assert extract_cookie(query) is None
+
+    def test_cookie_length_constant(self):
+        assert COOKIE_LENGTH == 16
+        assert len(ZERO_COOKIE) == 16

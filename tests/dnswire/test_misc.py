@@ -1,0 +1,124 @@
+"""Odds and ends: builders, enums, OPT options, presentation forms."""
+
+from ipaddress import IPv4Address, IPv6Address
+
+import pytest
+
+from repro.dnswire import (
+    AAAA,
+    Header,
+    Message,
+    Name,
+    OPT,
+    Opcode,
+    Rcode,
+    ResourceRecord,
+    RRClass,
+    RRType,
+    make_query,
+    make_response,
+    ns_record,
+    soa_record,
+)
+
+
+class TestBuilders:
+    def test_make_response_echoes_identity(self):
+        query = make_query("a.com", RRType.MX, msg_id=99, recursion_desired=True)
+        response = make_response(query, authoritative=True, recursion_available=True)
+        assert response.header.msg_id == 99
+        assert response.header.qr and response.header.aa and response.header.ra
+        assert response.header.rd  # echoed from the query
+        assert response.question == query.question
+
+    def test_make_response_rcode(self):
+        response = make_response(make_query("a.com"), rcode=Rcode.REFUSED)
+        assert response.header.rcode == Rcode.REFUSED
+
+    def test_ns_record_accepts_strings_and_names(self):
+        rr1 = ns_record("foo.com", "ns1.foo.com")
+        rr2 = ns_record(Name.from_text("foo.com"), Name.from_text("ns1.foo.com"))
+        assert rr1.name == rr2.name
+        assert rr1.rdata == rr2.rdata
+
+    def test_soa_record_defaults(self):
+        rr = soa_record("zone.example")
+        assert rr.rtype == RRType.SOA
+        assert rr.rdata.minimum == 300
+
+
+class TestEnums:
+    def test_rrtype_name_of_known(self):
+        assert RRType.name_of(1) == "A"
+        assert RRType.name_of(33) == "SRV"
+
+    def test_rrtype_name_of_unknown(self):
+        assert RRType.name_of(4242) == "TYPE4242"
+
+    def test_opcode_and_rcode_values(self):
+        assert Opcode.QUERY == 0
+        assert Rcode.NXDOMAIN == 3
+        assert RRClass.IN == 1
+
+
+class TestAaaa:
+    def test_round_trip(self):
+        rr = ResourceRecord(
+            Name.from_text("v6.example"), RRType.AAAA, RRClass.IN, 60,
+            AAAA(IPv6Address("2001:db8::1")),
+        )
+        msg = Message()
+        msg.answers.append(rr)
+        decoded = Message.decode(msg.encode())
+        assert decoded.answers[0].rdata.address == IPv6Address("2001:db8::1")
+
+    def test_coerces_strings(self):
+        assert AAAA("2001:db8::2").address == IPv6Address("2001:db8::2")
+
+
+class TestOpt:
+    def test_option_lookup(self):
+        opt = OPT(options=((10, b"cookie"), (12, b"padding")))
+        assert opt.option(10) == b"cookie"
+        assert opt.option(12) == b"padding"
+        assert opt.option(99) is None
+
+    def test_wire_round_trip(self):
+        rr = ResourceRecord(Name.root(), RRType.OPT, 4096, 0,
+                            OPT(options=((10, b"\x01" * 8),)))
+        msg = Message()
+        msg.additionals.append(rr)
+        decoded = Message.decode(msg.encode())
+        assert decoded.additionals[0].rdata.option(10) == b"\x01" * 8
+
+
+class TestPresentation:
+    def test_message_str_lists_sections(self):
+        query = make_query("www.foo.com", msg_id=5)
+        response = make_response(query)
+        from repro.dnswire import a_record
+
+        response.answers.append(a_record("www.foo.com", "1.2.3.4"))
+        text = str(response)
+        assert "www.foo.com." in text
+        assert "an " in text and "? " in text
+
+    def test_header_flags_survive_flags_word(self):
+        header = Header(qr=True, aa=True, rcode=Rcode.SERVFAIL)
+        decoded, _ = Header.decode(header.encode())
+        assert decoded.flags_word() == header.flags_word()
+
+
+class TestNameMisc:
+    def test_wire_length_matches_to_wire(self):
+        for text in (".", "a.b", "www.foo.com", "x" * 63):
+            name = Name.from_text(text)
+            assert name.wire_length() == len(name.to_wire())
+
+    def test_iteration_and_len(self):
+        name = Name.from_text("a.b.c")
+        assert list(name) == [b"a", b"b", b"c"]
+        assert len(name) == 3
+
+    def test_repr(self):
+        assert "www.foo.com." in repr(Name.from_text("www.foo.com"))

@@ -1,0 +1,31 @@
+"""Smoke tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_fluid(self, capsys):
+        assert main(["fluid"]) == 0
+        out = capsys.readouterr().out
+        assert "guard saturates" in out
+
+    def test_table1_fast(self, capsys):
+        assert main(["table1", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "modified" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "forged requests dropped" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

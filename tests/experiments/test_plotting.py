@@ -1,0 +1,71 @@
+"""Unit tests for the ASCII plotting helpers and the guard stats snapshot."""
+
+import pytest
+
+from repro.experiments.plotting import bar_chart, line_chart
+
+
+class TestBarChart:
+    def test_bars_scale_to_peak(self):
+        chart = bar_chart(["a", "b"], [10.0, 5.0], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_title_included(self):
+        assert bar_chart(["x"], [1.0], title="hello").startswith("hello")
+
+    def test_values_formatted(self):
+        chart = bar_chart(["k"], [1500.0])
+        assert "1.5K" in chart
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty_is_title_only(self):
+        assert bar_chart([], [], title="t") == "t"
+
+    def test_explicit_max_value(self):
+        chart = bar_chart(["a"], [5.0], width=10, max_value=10.0)
+        assert chart.count("█") == 5
+
+
+class TestLineChart:
+    def test_markers_present_per_series(self):
+        chart = line_chart([0, 1, 2], {"up": [0, 1, 2], "down": [2, 1, 0]})
+        assert "●" in chart and "○" in chart
+        assert "up" in chart and "down" in chart
+
+    def test_axis_labels(self):
+        chart = line_chart([0, 10], {"s": [1, 2]}, x_label="attack", y_label="rps")
+        assert "attack" in chart and "rps" in chart
+
+    def test_empty_returns_title(self):
+        assert line_chart([], {}, title="nothing") == "nothing"
+
+    def test_peak_row_is_top(self):
+        chart = line_chart([0, 1], {"s": [0.0, 100.0]}, height=5, width=10)
+        rows = [line for line in chart.splitlines() if "┤" in line]
+        assert "●" in rows[0]  # the maximum lands on the top row
+        assert "●" in rows[-1]  # the zero lands on the bottom row
+
+
+class TestGuardStats:
+    def test_snapshot_keys_and_monotonicity(self):
+        from repro.dns import LrsSimulator
+        from repro.experiments.testbed import ANS_ADDRESS, GuardTestbed
+
+        bed = GuardTestbed(ans="simulator", ans_mode="referral")
+        client = bed.add_client("lrs")
+        lrs = LrsSimulator(client, ANS_ADDRESS, workload="referral")
+        before = bed.guard.stats()
+        lrs.start()
+        bed.run(0.05)
+        lrs.stop()
+        after = bed.guard.stats()
+        assert set(before) == set(after)
+        assert after["queries_seen"] > before["queries_seen"]
+        assert after["valid_cookies"] > 0
+        assert after["cpu_busy_seconds"] > 0
+        assert "tcp_requests_proxied" in after

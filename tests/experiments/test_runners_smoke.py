@@ -1,0 +1,89 @@
+"""Smoke tests: every experiment runner produces sane output quickly.
+
+Full-scale runs live in ``benchmarks/``; these only prove the runners wire
+up correctly and their results point the right way.
+"""
+
+import pytest
+
+from repro.experiments import fluid
+from repro.experiments.ablation import run_hcf_ablation, run_rotation_ablation
+from repro.experiments.attacks import run_cookie2_guessing
+from repro.experiments.fig6 import run_point as fig6_point
+from repro.experiments.fig7 import run_fig7a_point, run_fig7b_point
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import measure_scheme as table2_scheme
+from repro.experiments.table3 import measure_scheme as table3_scheme
+
+
+class TestTableRunners:
+    def test_table1_static(self):
+        rows = run_table1(measure_latency=False)
+        assert {row.scheme for row in rows} == {"ns_name", "fabricated", "tcp", "modified"}
+        assert all(row.worst_latency_rtt >= row.best_latency_rtt for row in rows)
+
+    def test_table2_single_scheme(self):
+        miss, hit = table2_scheme("modified", iterations=6)
+        assert miss == pytest.approx(21.8, rel=0.1)
+        assert hit == pytest.approx(10.9, rel=0.1)
+
+    def test_table3_single_scheme(self):
+        rate = table3_scheme("modified", cache=True, warmup=0.05, duration=0.1,
+                             concurrency=128)
+        assert rate == pytest.approx(110_000, rel=0.1)
+
+
+class TestFigureRunners:
+    def test_fig6_point(self):
+        p = fig6_point(0, True, warmup=0.05, duration=0.1, concurrency=64)
+        assert p.legit_throughput == pytest.approx(110_000, rel=0.15)
+        assert 0 < p.guard_cpu < 1
+
+    def test_fig7a_point(self):
+        p = run_fig7a_point(20, warmup=0.1, duration=0.1)
+        assert p.throughput == pytest.approx(22_000, rel=0.2)
+
+    def test_fig7b_point(self):
+        p = run_fig7b_point(0, warmup=0.1, duration=0.1)
+        assert p.throughput == pytest.approx(22_700, rel=0.2)
+
+
+class TestAttackRunners:
+    def test_guessing_expected_rate(self):
+        result = run_cookie2_guessing(packets=508)
+        assert result.expected_success_rate == pytest.approx(1 / 254)
+        assert result.cookies_accepted == 2  # 508 packets cover the /24 twice
+
+
+class TestAblationRunners:
+    def test_hcf(self):
+        result = run_hcf_ablation(clients=100)
+        assert 0 <= result.hcf_false_negative_rate <= 1
+        assert result.hcf_false_negative_rate > result.cookie_false_negative_rate
+
+    def test_rotation(self):
+        result = run_rotation_ablation(cookies=50)
+        assert result.survivors_with_generation_bit == 50
+        assert result.survivors_naive == 0
+
+
+class TestFluidModel:
+    def test_predictions_positive_and_ordered(self):
+        model = fluid.FluidModel()
+        assert (
+            model.throughput("modified", True)
+            >= model.throughput("ns_name", False)
+            > model.throughput("fabricated", False)
+            > model.throughput("tcp", False)
+        )
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            fluid.FluidModel().request_cost("quantum", True)
+
+    def test_saturated_guard_returns_zero(self):
+        model = fluid.FluidModel()
+        assert model.legit_throughput_under_attack(10**9) == 0.0
+
+    def test_format_runs(self):
+        assert "guard saturates" in fluid.format_predictions()

@@ -1,0 +1,104 @@
+"""The guard's namespace stays alive while detection is dormant.
+
+Clients hold week-long references into the fabricated namespace (cookie NS
+names, COOKIE2 addresses, modified-DNS cookies).  When the activation
+threshold has detection disengaged, those references must keep working —
+otherwise every activation/deactivation transition strands clients until
+their caches expire (which is exactly what an attacker could exploit by
+oscillating around the threshold).
+"""
+
+from ipaddress import IPv4Address
+
+import pytest
+
+from repro.dns import LrsSimulator
+from repro.dnswire import ZERO_COOKIE, attach_cookie, extract_cookie, make_query
+from repro.experiments.testbed import ANS_ADDRESS, GuardTestbed
+
+HIGH_THRESHOLD = 1e9  # detection will never engage
+
+
+def idle_bed(**kwargs):
+    return GuardTestbed(
+        ans="simulator", activation_threshold=HIGH_THRESHOLD, **kwargs
+    )
+
+
+class TestInactiveNamespace:
+    def test_cookie_grants_issued_while_dormant(self):
+        bed = idle_bed(ans_mode="answer")
+        client = bed.add_client("lrs")
+        responses = []
+        sock = client.udp.bind_ephemeral(lambda p, s, sp, d: responses.append(p))
+        probe = attach_cookie(make_query("www.foo.com", msg_id=1), ZERO_COOKIE)
+        sock.send(probe, ANS_ADDRESS, 53)
+        bed.run(0.05)
+        assert responses
+        cookie = extract_cookie(responses[0])
+        assert cookie is not None and cookie != ZERO_COOKIE
+        assert bed.guard.cookies_granted == 1
+
+    def test_cookie_name_queries_served_while_dormant(self):
+        """A cached fabricated NS name resolves even below the threshold."""
+        bed = idle_bed(ans_mode="referral")
+        client = bed.add_client("lrs")
+        # obtain the cookie name while active, then go dormant
+        bed.guard.activation_threshold = None
+        lrs = LrsSimulator(client, ANS_ADDRESS, workload="referral")
+        lrs.start()
+        bed.run(0.02)
+        lrs.stop()
+        bed.run(0.02)
+        target = lrs._cookie_ns_target
+        assert target is not None
+        bed.guard.activation_threshold = HIGH_THRESHOLD  # dormant again
+        responses = []
+        sock = client.udp.bind_ephemeral(lambda p, s, sp, d: responses.append(p))
+        sock.send(make_query(target, msg_id=77), ANS_ADDRESS, 53)
+        bed.run(0.05)
+        assert responses and responses[0].answers
+
+    def test_cookie2_addresses_served_while_dormant(self):
+        bed = idle_bed(ans_mode="answer")
+        client = bed.add_client("lrs")
+        bed.guard.activation_threshold = None
+        lrs = LrsSimulator(client, ANS_ADDRESS, workload="nonreferral")
+        lrs.start()
+        bed.run(0.02)
+        lrs.stop()
+        bed.run(0.02)
+        cookie2 = lrs._cookie2_address
+        assert cookie2 is not None
+        bed.guard.activation_threshold = HIGH_THRESHOLD
+        responses = []
+        sock = client.udp.bind_ephemeral(lambda p, s, sp, d: responses.append(p))
+        sock.send(make_query("www.foo.com", msg_id=88), cookie2, 53)
+        bed.run(0.05)
+        assert responses and responses[0].answers
+
+    def test_modified_query_stripped_but_not_verified_while_dormant(self):
+        """Dormant means no detection: even a wrong cookie passes (stripped)."""
+        bed = idle_bed(ans_mode="answer")
+        client = bed.add_client("lrs")
+        responses = []
+        sock = client.udp.bind_ephemeral(lambda p, s, sp, d: responses.append(p))
+        bogus = attach_cookie(make_query("www.foo.com", msg_id=2), b"\x13" * 16)
+        sock.send(bogus, ANS_ADDRESS, 53)
+        bed.run(0.05)
+        assert responses and responses[0].answers
+        assert bed.guard.invalid_drops == 0
+
+    def test_threshold_oscillation_never_strands_clients(self):
+        """Flipping activation on and off leaves a cookie-capable client
+        completing queries continuously."""
+        bed = GuardTestbed(ans="simulator", ans_mode="answer")
+        client = bed.add_client("lrs", via_local_guard=True)
+        lrs = LrsSimulator(client, ANS_ADDRESS, workload="plain")
+        lrs.start()
+        for flip in range(6):
+            bed.guard.activation_threshold = None if flip % 2 else HIGH_THRESHOLD
+            bed.run(0.05)
+        lrs.stop()
+        assert lrs.stats.completed > 600
+        assert lrs.stats.timeouts <= 1

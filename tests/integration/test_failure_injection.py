@@ -1,0 +1,153 @@
+"""Failure-injection tests: the guard under loss, overload and edge cases."""
+
+from ipaddress import IPv4Address
+
+import pytest
+
+from repro.dns import LrsSimulator
+from repro.dnswire import Name, make_query
+from repro.experiments.testbed import ANS_ADDRESS, GuardTestbed
+
+
+class TestPacketLoss:
+    def test_modified_scheme_survives_lossy_uplink(self):
+        bed = GuardTestbed(seed=3, ans="simulator", ans_mode="answer")
+        client = bed.add_client("lrs", via_local_guard=True)
+        # make the client<->local-guard uplink lossy both ways
+        client.links[0].loss = 0.2
+        lrs = LrsSimulator(client, ANS_ADDRESS, workload="plain", timeout=0.02)
+        lrs.start()
+        bed.run(1.0)
+        lrs.stop()
+        # each loss stalls the loop a full 20 ms timeout, so throughput is
+        # dominated by the loss rate; what matters is sustained progress
+        assert lrs.stats.completed > 60
+        assert lrs.stats.timeouts > 0
+
+    def test_lost_cookie_grant_retried(self):
+        bed = GuardTestbed(seed=9, ans="simulator", ans_mode="answer")
+        client = bed.add_client("lrs", via_local_guard=True)
+        lg_node = [n for n in (client.links[0].other(client),)][0]
+        # drop everything between the local guard and the remote guard for
+        # the first 50 ms: the first grant is lost
+        outer = lg_node.links[1]
+        outer.loss = 1.0
+        bed.sim.schedule(0.05, lambda: setattr(outer, "loss", 0.0))
+        lrs = LrsSimulator(client, ANS_ADDRESS, workload="plain", timeout=0.02)
+        lrs.start()
+        bed.run(2.5)
+        lrs.stop()
+        # after the blackout lifts, probe retransmission recovers the flow
+        assert lrs.stats.completed > 1000
+
+    def test_ns_name_scheme_survives_loss(self):
+        bed = GuardTestbed(seed=4, ans="simulator", ans_mode="referral")
+        client = bed.add_client("lrs")
+        client.links[0].loss = 0.15
+        lrs = LrsSimulator(client, ANS_ADDRESS, workload="referral", timeout=0.02)
+        lrs.start()
+        bed.run(1.0)
+        lrs.stop()
+        assert lrs.stats.completed > 80
+
+
+class TestGuardOverload:
+    def test_saturated_guard_drops_rather_than_queues(self):
+        from repro.attack import SpoofingAttacker
+
+        bed = GuardTestbed(ans="simulator", ans_mode="answer")
+        attacker_node = bed.add_client("attacker")
+        attacker = SpoofingAttacker(
+            attacker_node, ANS_ADDRESS, rate=600_000, carry_invalid_cookie=True
+        )
+        attacker.start()
+        bed.run(0.3)
+        attacker.stop()
+        # way past guard capacity: the CPU queue must shed load
+        assert bed.guard.overload_drops > 0
+        assert bed.guard_node.cpu.backlog < 0.1
+
+    def test_pending_table_expires_entries(self):
+        bed = GuardTestbed(ans="simulator", ans_mode="referral")
+        # kill the ANS so restored queries never come back
+        bed.ans_node.udp._sockets.clear()
+        client = bed.add_client("lrs")
+        lrs = LrsSimulator(client, ANS_ADDRESS, workload="referral", timeout=0.01)
+        lrs.start()
+        bed.run(0.1)
+        lrs.stop()
+        assert bed.guard.pending_exchanges > 0
+        bed.run(5.0)  # sweeps run every second; entries expire after 2 s
+        assert bed.guard.pending_exchanges == 0
+
+
+class TestEdgeCases:
+    def test_oversized_qname_falls_back_to_tcp(self):
+        """A name too long for the cookie label gets a TC redirect instead."""
+        bed = GuardTestbed(ans="simulator", ans_mode="answer")
+        client = bed.add_client("lrs")
+        responses = []
+        sock = client.udp.bind_ephemeral(lambda p, s, sp, d: responses.append(p))
+        long_name = Name([b"x" * 60, b"y" * 60])
+        sock.send(make_query(long_name, msg_id=5), ANS_ADDRESS, 53)
+        bed.run(0.1)
+        assert responses and responses[0].header.tc
+        assert bed.guard.truncations_sent == 1
+
+    def test_non_dns_udp_traffic_forwarded_untouched(self):
+        bed = GuardTestbed(ans="simulator", ans_mode="answer")
+        client = bed.add_client("lrs")
+        got = []
+        bed.ans_node.udp.bind(9999, lambda p, s, sp, d: got.append(p))
+        client.udp.bind_ephemeral(lambda *a: None).send(b"not dns", ANS_ADDRESS, 9999)
+        bed.run(0.1)
+        assert got == [b"not dns"]
+
+    def test_garbage_udp_to_port_53_dropped_cheaply(self):
+        bed = GuardTestbed(ans="simulator", ans_mode="answer")
+        client = bed.add_client("lrs")
+        drops_before = bed.guard.invalid_drops
+        client.udp.bind_ephemeral(lambda *a: None).send(b"\x00garbage", ANS_ADDRESS, 53)
+        bed.run(0.1)
+        assert bed.guard.invalid_drops == drops_before + 1
+        assert bed.ans.requests_served == 0
+
+    def test_response_shaped_packet_from_client_side_dropped(self):
+        """A response (QR=1) aimed at the ANS is not a query: dropped."""
+        bed = GuardTestbed(ans="simulator", ans_mode="answer")
+        client = bed.add_client("lrs")
+        fake = make_query("www.foo.com", msg_id=1)
+        fake.header.qr = True
+        client.udp.bind_ephemeral(lambda *a: None).send(fake, ANS_ADDRESS, 53)
+        bed.run(0.1)
+        assert bed.ans.requests_served == 0
+
+    def test_guard_disable_reenable_midrun(self):
+        bed = GuardTestbed(ans="simulator", ans_mode="referral")
+        client = bed.add_client("lrs")
+        lrs = LrsSimulator(client, ANS_ADDRESS, workload="referral", timeout=0.02)
+        lrs.start()
+        bed.run(0.1)
+        completed_guarded = lrs.stats.completed
+        bed.guard.enabled = False
+        bed.run(0.1)
+        bed.guard.enabled = True
+        bed.run(0.2)
+        lrs.stop()
+        # traffic kept flowing across both transitions
+        assert lrs.stats.completed > completed_guarded + 100
+
+    def test_two_clients_get_distinct_cookies(self):
+        bed = GuardTestbed(ans="simulator", ans_mode="referral")
+        c1 = bed.add_client("lrs1")
+        c2 = bed.add_client("lrs2")
+        lrs1 = LrsSimulator(c1, ANS_ADDRESS, workload="referral")
+        lrs2 = LrsSimulator(c2, ANS_ADDRESS, workload="referral")
+        lrs1.start()
+        lrs2.start()
+        bed.run(0.05)
+        lrs1.stop()
+        lrs2.stop()
+        assert lrs1._cookie_ns_target is not None
+        assert lrs2._cookie_ns_target is not None
+        assert lrs1._cookie_ns_target != lrs2._cookie_ns_target

@@ -1,0 +1,148 @@
+"""Verify the paper's §IV.D packet-count arithmetic on real wire traffic.
+
+"The modified DNS scheme and the NS name scheme need to compute the cookie
+only twice and transfer 6 packets to service one DNS request [cache miss]
+... In this cache hit case [the guard] computes the cookie once and
+transfers just 4 packets ... the fabricated NS name/ip scheme needs to
+compute the cookie three times and transfer 8 packets ... the TCP-based
+scheme needs to ... transfer 10 to 12 packets."
+"""
+
+import pytest
+
+from repro.dns import LrsSimulator, TcpLoadClient
+from repro.experiments.testbed import ANS_ADDRESS, GuardTestbed
+from repro.netsim import PacketTracer
+
+
+def udp_packets_per_request(bed, lrs, *, warm: bool, duration: float = 0.2) -> float:
+    """Average UDP packets crossing the guard per completed request."""
+    if warm:
+        lrs.start()
+        bed.run(0.05)
+        lrs.stop()
+        bed.run(0.05)  # drain in-flight work before tracing
+    tracer = PacketTracer(bed.guard_node)
+    completed_before = lrs.stats.completed
+    lrs.start()
+    bed.run(duration)
+    lrs.stop()
+    bed.run(0.05)
+    tracer.detach()
+    completed = lrs.stats.completed - completed_before
+    assert completed > 50, "not enough interactions to average over"
+    return len(tracer.packets(protocol="udp")) / completed
+
+
+class TestPacketCounts:
+    def test_ns_name_cache_miss_is_six_packets(self):
+        bed = GuardTestbed(ans="simulator", ans_mode="referral")
+        client = bed.add_client("lrs")
+        lrs = LrsSimulator(client, ANS_ADDRESS, workload="referral", cache_cookies=False)
+        # messages 1-6: four on the client side, two on the ANS side
+        assert udp_packets_per_request(bed, lrs, warm=False) == pytest.approx(6, abs=0.2)
+
+    def test_ns_name_cache_hit_is_four_packets(self):
+        bed = GuardTestbed(ans="simulator", ans_mode="referral")
+        client = bed.add_client("lrs")
+        lrs = LrsSimulator(client, ANS_ADDRESS, workload="referral", cache_cookies=True)
+        # messages 3/4/5/6 only: one guard round trip per request
+        assert udp_packets_per_request(bed, lrs, warm=True) == pytest.approx(4, abs=0.2)
+
+    def test_fabricated_cache_miss_is_eight_packets(self):
+        bed = GuardTestbed(ans="simulator", ans_mode="answer")
+        client = bed.add_client("lrs")
+        lrs = LrsSimulator(client, ANS_ADDRESS, workload="nonreferral", cache_cookies=False)
+        # messages 1-7 and 10 (8/9 served from the guard's answer cache)
+        assert udp_packets_per_request(bed, lrs, warm=False) == pytest.approx(8, abs=0.2)
+
+    def test_fabricated_cache_hit_is_four_packets(self):
+        bed = GuardTestbed(ans="simulator", ans_mode="answer")
+        client = bed.add_client("lrs")
+        lrs = LrsSimulator(client, ANS_ADDRESS, workload="nonreferral", cache_cookies=True)
+        assert udp_packets_per_request(bed, lrs, warm=True) == pytest.approx(4, abs=0.2)
+
+    def test_modified_cache_miss_is_six_packets(self):
+        bed = GuardTestbed(ans="simulator", ans_mode="answer")
+        client = bed.add_client("lrs", via_local_guard=True)
+        client.local_guard.cache_cookies = False
+        lrs = LrsSimulator(client, ANS_ADDRESS, workload="plain")
+        # cookie request + grant + stamped query + strip-forward + response x2
+        assert udp_packets_per_request(bed, lrs, warm=False) == pytest.approx(6, abs=0.2)
+
+    def test_modified_cache_hit_is_four_packets(self):
+        bed = GuardTestbed(ans="simulator", ans_mode="answer")
+        client = bed.add_client("lrs", via_local_guard=True)
+        lrs = LrsSimulator(client, ANS_ADDRESS, workload="plain")
+        assert udp_packets_per_request(bed, lrs, warm=True) == pytest.approx(4, abs=0.2)
+
+    def test_tcp_scheme_is_ten_to_thirteen_packets(self):
+        bed = GuardTestbed(ans="simulator", ans_mode="answer", guard_policy="tcp")
+        client = bed.add_client("lrs")
+        tcp = TcpLoadClient(client, ANS_ADDRESS, concurrency=1)
+        tracer = PacketTracer(bed.guard_node)
+        tcp.start()
+        bed.run(0.2)
+        tcp.stop()
+        bed.run(0.1)
+        tracer.detach()
+        assert tcp.stats.completed > 20
+        per_request_tcp = len(tracer.packets(protocol="tcp")) / tcp.stats.completed
+        # the paper counts 10-12 TCP segments per proxied request
+        assert 9.5 <= per_request_tcp <= 13
+        # plus the two UDP packets of the guard<->ANS leg
+        per_request_udp = len(tracer.packets(protocol="udp")) / tcp.stats.completed
+        assert per_request_udp == pytest.approx(2, abs=0.3)
+
+
+class TestTracerMechanics:
+    def test_trace_dump_readable(self):
+        bed = GuardTestbed(ans="simulator", ans_mode="referral")
+        client = bed.add_client("lrs")
+        lrs = LrsSimulator(client, ANS_ADDRESS, workload="referral", cache_cookies=False)
+        tracer = PacketTracer(bed.guard_node)
+        lrs.start()
+        bed.run(0.01)
+        lrs.stop()
+        dump = tracer.dump()
+        assert "DNS query" in dump
+        assert "DNS response" in dump
+
+    def test_tracer_detach_stops_capture(self):
+        bed = GuardTestbed(ans="simulator", ans_mode="referral")
+        client = bed.add_client("lrs")
+        lrs = LrsSimulator(client, ANS_ADDRESS, workload="referral")
+        tracer = PacketTracer(bed.guard_node)
+        lrs.start()
+        bed.run(0.01)
+        tracer.detach()
+        count = len(tracer)
+        bed.run(0.05)
+        lrs.stop()
+        assert len(tracer) == count
+
+    def test_filter_fn(self):
+        bed = GuardTestbed(ans="simulator", ans_mode="referral")
+        client = bed.add_client("lrs")
+        tracer = PacketTracer(
+            bed.guard_node, filter_fn=lambda packet: packet.dst == ANS_ADDRESS
+        )
+        lrs = LrsSimulator(client, ANS_ADDRESS, workload="referral", cache_cookies=False)
+        lrs.start()
+        bed.run(0.01)
+        lrs.stop()
+        bed.run(0.05)
+        assert tracer.records
+        assert all(r.dst == ANS_ADDRESS for r in tracer.records)
+
+    def test_between_helper(self):
+        bed = GuardTestbed(ans="simulator", ans_mode="referral")
+        client = bed.add_client("lrs")
+        tracer = PacketTracer(bed.guard_node)
+        lrs = LrsSimulator(client, ANS_ADDRESS, workload="referral", cache_cookies=False)
+        lrs.start()
+        bed.run(0.05)
+        lrs.stop()
+        conversation = tracer.between(client.address, ANS_ADDRESS)
+        assert conversation
+        assert tracer.total_bytes() >= sum(r.size for r in conversation)

@@ -1,0 +1,49 @@
+"""Unit tests for the subnet allocator."""
+
+from ipaddress import IPv4Address, IPv4Network
+
+import pytest
+
+from repro.netsim import AddressError, SubnetAllocator
+
+
+class TestSubnetAllocator:
+    def test_allocates_in_order(self):
+        alloc = SubnetAllocator("10.0.0.0/29")
+        assert alloc.allocate() == IPv4Address("10.0.0.1")
+        assert alloc.allocate() == IPv4Address("10.0.0.2")
+
+    def test_exhaustion_raises(self):
+        alloc = SubnetAllocator("10.0.0.0/30")  # 2 usable hosts
+        alloc.allocate()
+        alloc.allocate()
+        with pytest.raises(AddressError):
+            alloc.allocate()
+
+    def test_claim_specific(self):
+        alloc = SubnetAllocator("10.0.0.0/24")
+        assert alloc.claim("10.0.0.53") == IPv4Address("10.0.0.53")
+
+    def test_claim_outside_subnet_rejected(self):
+        alloc = SubnetAllocator("10.0.0.0/24")
+        with pytest.raises(AddressError):
+            alloc.claim("192.168.1.1")
+
+    def test_double_claim_rejected(self):
+        alloc = SubnetAllocator("10.0.0.0/24")
+        alloc.claim("10.0.0.53")
+        with pytest.raises(AddressError):
+            alloc.claim("10.0.0.53")
+
+    def test_host_range_is_r_y(self):
+        assert SubnetAllocator("10.0.0.0/24").host_range() == 254
+        assert SubnetAllocator("10.0.0.0/28").host_range() == 14
+
+    def test_contains(self):
+        alloc = SubnetAllocator("10.0.0.0/24")
+        assert IPv4Address("10.0.0.7") in alloc
+        assert IPv4Address("10.0.1.7") not in alloc
+
+    def test_network_object_accepted(self):
+        alloc = SubnetAllocator(IPv4Network("172.16.0.0/30"))
+        assert alloc.allocate() in IPv4Network("172.16.0.0/30")

@@ -1,0 +1,87 @@
+"""Multi-core CPU model: throughput scales, single jobs do not."""
+
+import pytest
+
+from repro.netsim import Cpu, Simulator
+
+
+class TestMultiCore:
+    def test_invalid_core_count(self):
+        with pytest.raises(ValueError):
+            Cpu(Simulator(), cores=0)
+
+    def test_two_cores_double_throughput(self):
+        sim = Simulator()
+        cpu = Cpu(sim, cores=2, queue_limit=10.0)
+        done = []
+        for _ in range(10):
+            cpu.submit(0.1, lambda: done.append(sim.now))
+        sim.run()
+        # 10 jobs x 0.1s on 2 cores = 0.5 s wall clock
+        assert sim.now == pytest.approx(0.5)
+        assert len(done) == 10
+
+    def test_single_job_still_takes_full_service_time(self):
+        sim = Simulator()
+        cpu = Cpu(sim, cores=4)
+        done = []
+        cpu.submit(0.2, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [pytest.approx(0.2)]
+
+    def test_utilization_normalised_by_cores(self):
+        sim = Simulator()
+        cpu = Cpu(sim, cores=2, queue_limit=10.0)
+        busy0, t0 = cpu.completed_busy_seconds(), sim.now
+        for _ in range(10):
+            cpu.submit(0.1, None)  # 1 CPU-second over 2 cores
+        sim.run(until=1.0)
+        assert cpu.utilization(busy0, t0) == pytest.approx(0.5)
+
+    def test_queue_limit_is_per_core(self):
+        sim = Simulator()
+        cpu = Cpu(sim, cores=2, queue_limit=0.05)
+        accepted = sum(cpu.submit(0.04, None) for _ in range(10))
+        # each core takes ~2-3 jobs before its backlog exceeds 50 ms
+        assert 4 <= accepted <= 6
+
+    def test_completed_busy_seconds_excludes_pending_on_all_cores(self):
+        sim = Simulator()
+        cpu = Cpu(sim, cores=2, queue_limit=100.0)
+        cpu.submit(5.0, None)
+        cpu.submit(5.0, None)
+        sim.run(until=1.0)
+        assert cpu.completed_busy_seconds() == pytest.approx(2.0)  # 1 s on each core
+
+
+class TestGuardOnMoreCores:
+    def test_dual_core_guard_moves_the_knee(self):
+        """The Figure 6 knee scales with guard CPU capacity."""
+        from repro.attack import SpoofingAttacker
+        from repro.dns import LrsSimulator
+        from repro.experiments.testbed import ANS_ADDRESS, GuardTestbed
+
+        def legit_at(attack_rate: float, cores: int) -> float:
+            bed = GuardTestbed(ans="simulator", ans_mode="answer")
+            bed.guard_node.cpu.cores = cores
+            bed.guard_node.cpu._core_busy_until = [0.0] * cores
+            client = bed.add_client("legit", via_local_guard=True)
+            lrs = LrsSimulator(client, ANS_ADDRESS, workload="plain", concurrency=128)
+            attacker = SpoofingAttacker(
+                bed.add_client("attacker"), ANS_ADDRESS,
+                rate=attack_rate, carry_invalid_cookie=True,
+            )
+            lrs.start()
+            attacker.start()
+            bed.run(0.15)
+            (rate,) = bed.measure([lrs.stats], 0.2)
+            lrs.stop()
+            attacker.stop()
+            return rate
+
+        single = legit_at(300_000, cores=1)
+        dual = legit_at(300_000, cores=2)
+        # a single-core guard is past its knee at 300K; a dual-core one
+        # still holds the full ANS capacity
+        assert single < 80_000
+        assert dual == pytest.approx(110_000, rel=0.1)

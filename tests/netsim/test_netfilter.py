@@ -1,0 +1,162 @@
+"""Unit tests for the netfilter-style packet filter."""
+
+from ipaddress import IPv4Address
+
+import pytest
+
+from repro.netsim import Hook, Link, Node, Rule, Simulator, Verdict
+from repro.netsim.netfilter import (
+    conjunction,
+    dst_is,
+    match_all,
+    rate_limit_target,
+    src_in,
+    src_not_in,
+    udp_dport,
+)
+
+
+def chainlet(seed=0):
+    """client -- fw (router) -- server, for transit filtering tests."""
+    sim = Simulator(seed=seed)
+    client = Node(sim, "client")
+    client.add_address("10.0.0.1")
+    fw = Node(sim, "fw")
+    fw.add_address("10.0.0.254")
+    server = Node(sim, "server")
+    server.add_address("203.0.113.53")
+    l1 = Link(sim, client, fw, delay=0.0001)
+    l2 = Link(sim, fw, server, delay=0.0001)
+    client.set_default_route(l1)
+    server.set_default_route(l2)
+    fw.add_route("10.0.0.0/24", l1)
+    fw.add_route("203.0.113.0/24", l2)
+    return sim, client, fw, server
+
+
+class TestRules:
+    def test_rule_requires_exactly_one_action(self):
+        with pytest.raises(ValueError):
+            Rule(match=match_all)
+        with pytest.raises(ValueError):
+            Rule(match=match_all, verdict=Verdict.DROP, target=lambda p: Verdict.DROP)
+
+    def test_counters_track_matches(self):
+        sim, client, fw, server = chainlet()
+        rule = fw.filters.append(Hook.FORWARD, udp_dport(53), Verdict.ACCEPT)
+        sock = client.udp.bind_ephemeral(lambda *a: None)
+        for i in range(5):
+            sock.send(b"q", IPv4Address("203.0.113.53"), 53)
+        sock.send(b"q", IPv4Address("203.0.113.53"), 9999)  # not matched
+        sim.run(until=1.0)
+        assert rule.packets == 5
+        assert rule.bytes > 0
+
+    def test_first_match_wins(self):
+        sim, client, fw, server = chainlet()
+        fw.filters.append(Hook.FORWARD, udp_dport(53), Verdict.DROP, comment="block dns")
+        fw.filters.append(Hook.FORWARD, match_all, Verdict.ACCEPT)
+        got = []
+        server.udp.bind(53, lambda p, s, sp, d: got.append(p))
+        server.udp.bind(80, lambda p, s, sp, d: got.append(p))
+        sock = client.udp.bind_ephemeral(lambda *a: None)
+        sock.send(b"dns", IPv4Address("203.0.113.53"), 53)
+        sock.send(b"web", IPv4Address("203.0.113.53"), 80)
+        sim.run(until=1.0)
+        assert got == [b"web"]
+
+
+class TestChainsAndHooks:
+    def test_forward_drop_blocks_transit(self):
+        sim, client, fw, server = chainlet()
+        fw.filters.append(Hook.FORWARD, match_all, Verdict.DROP)
+        got = []
+        server.udp.bind(53, lambda p, s, sp, d: got.append(p))
+        client.udp.bind_ephemeral(lambda *a: None).send(b"x", IPv4Address("203.0.113.53"), 53)
+        sim.run(until=1.0)
+        assert got == []
+        assert fw.packets_dropped == 1
+
+    def test_local_in_protects_node_itself(self):
+        sim, client, fw, server = chainlet()
+        server.filters.append(Hook.LOCAL_IN, udp_dport(53), Verdict.DROP)
+        got = []
+        server.udp.bind(53, lambda p, s, sp, d: got.append(p))
+        client.udp.bind_ephemeral(lambda *a: None).send(b"x", IPv4Address("203.0.113.53"), 53)
+        sim.run(until=1.0)
+        assert got == []
+
+    def test_local_out_blocks_origination(self):
+        sim, client, fw, server = chainlet()
+        client.filters.append(Hook.LOCAL_OUT, dst_is("203.0.113.53"), Verdict.DROP)
+        got = []
+        server.udp.bind(53, lambda p, s, sp, d: got.append(p))
+        sock = client.udp.bind_ephemeral(lambda *a: None)
+        assert sock.send(b"x", IPv4Address("203.0.113.53"), 53) is False
+        sim.run(until=1.0)
+        assert got == []
+
+    def test_prerouting_applies_to_delivered_and_forwarded(self):
+        sim, client, fw, server = chainlet()
+        fw.filters.append(Hook.PREROUTING, src_in("10.0.0.0/24"), Verdict.DROP)
+        got = []
+        server.udp.bind(53, lambda p, s, sp, d: got.append(p))
+        fw.udp.bind(53, lambda p, s, sp, d: got.append(p))
+        sock = client.udp.bind_ephemeral(lambda *a: None)
+        sock.send(b"transit", IPv4Address("203.0.113.53"), 53)
+        sock.send(b"local", IPv4Address("10.0.0.254"), 53)
+        sim.run(until=1.0)
+        assert got == []
+
+    def test_chain_policy_drop(self):
+        sim, client, fw, server = chainlet()
+        chain = fw.filters.chain(Hook.FORWARD)
+        chain.policy = Verdict.DROP
+        chain.append(Rule(match=udp_dport(53), verdict=Verdict.ACCEPT))
+        got = []
+        server.udp.bind(53, lambda p, s, sp, d: got.append(p))
+        server.udp.bind(80, lambda p, s, sp, d: got.append(p))
+        sock = client.udp.bind_ephemeral(lambda *a: None)
+        sock.send(b"dns", IPv4Address("203.0.113.53"), 53)
+        sock.send(b"web", IPv4Address("203.0.113.53"), 80)
+        sim.run(until=1.0)
+        assert got == [b"dns"]
+        assert chain.policy_packets == 1
+
+    def test_nodes_without_filters_pay_nothing(self):
+        sim, client, fw, server = chainlet()
+        assert fw._filters is None  # lazily created only on use
+
+
+class TestIngressFiltering:
+    def test_rfc2827_blocks_spoofing_at_the_edge(self):
+        """An edge router dropping out-of-subnet sources stops spoofing."""
+        sim, client, edge, server = chainlet()
+        edge.filters.append(
+            Hook.FORWARD, src_not_in("10.0.0.0/24"), Verdict.DROP,
+            comment="RFC 2827 ingress filter",
+        )
+        seen = []
+        server.udp.bind(53, lambda p, s, sp, d: seen.append(s))
+        sock = client.udp.bind_ephemeral(lambda *a: None)
+        sock.send(b"honest", IPv4Address("203.0.113.53"), 53)
+        sock.send(b"spoof", IPv4Address("203.0.113.53"), 53, src=IPv4Address("8.8.8.8"))
+        sim.run(until=1.0)
+        assert seen == [IPv4Address("10.0.0.1")]
+
+
+class TestRateLimitTarget:
+    def test_limit_target_throttles(self):
+        sim, client, fw, server = chainlet()
+        fw.filters.append(
+            Hook.FORWARD,
+            conjunction(udp_dport(53), src_in("10.0.0.0/24")),
+            target=rate_limit_target(10.0, 5.0, clock=lambda: sim.now),
+        )
+        got = []
+        server.udp.bind(53, lambda p, s, sp, d: got.append(p))
+        sock = client.udp.bind_ephemeral(lambda *a: None)
+        for i in range(50):
+            sim.schedule(i * 0.001, sock.send, b"q", IPv4Address("203.0.113.53"), 53)
+        sim.run(until=1.0)
+        assert 5 <= len(got) <= 7  # burst of 5 plus ~10/sec for 50 ms

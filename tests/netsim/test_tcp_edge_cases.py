@@ -1,0 +1,160 @@
+"""TCP corner cases: RSTs, half-close, retransmission exhaustion, windows."""
+
+from ipaddress import IPv4Address
+
+import pytest
+
+from repro.netsim import (
+    Link,
+    MAX_RETRANSMITS,
+    MSS,
+    Node,
+    Packet,
+    Simulator,
+    TcpFlags,
+    TcpSegment,
+    TcpState,
+)
+from repro.netsim.tcp import SEND_WINDOW_SEGMENTS
+
+SERVER_IP = IPv4Address("10.0.0.2")
+
+
+def pair(seed=0, **link_kwargs):
+    sim = Simulator(seed=seed)
+    client = Node(sim, "client")
+    client.add_address("10.0.0.1")
+    server = Node(sim, "server")
+    server.add_address(SERVER_IP)
+    Link(sim, client, server, delay=0.001, **link_kwargs)
+    return sim, client, server
+
+
+class TestRstHandling:
+    def test_rst_during_handshake_kills_client(self):
+        sim, client, server = pair()
+        closes = []
+        conn = client.tcp.connect(SERVER_IP, 53, on_close=lambda c, e: closes.append(e))
+        # forge a RST from the server before any listener exists
+        rst = TcpSegment(sport=53, dport=conn.local_port, seq=0, ack=0, flags=TcpFlags.RST)
+        server.send(Packet(src=SERVER_IP, dst=IPv4Address("10.0.0.1"), segment=rst))
+        sim.run(until=1.0)
+        assert conn.state is TcpState.CLOSED
+        assert closes == [True]
+
+    def test_rst_mid_stream(self):
+        sim, client, server = pair()
+        server_conns = []
+        server.tcp.listen(53, server_conns.append)
+        conn = client.tcp.connect(SERVER_IP, 53)
+        sim.run(until=0.1)
+        assert conn.state is TcpState.ESTABLISHED
+        server_conns[0].abort()
+        sim.run(until=0.5)
+        assert conn.state is TcpState.CLOSED
+        assert client.tcp.open_connections == 0
+
+
+class TestRetransmissionExhaustion:
+    def test_connection_aborts_after_max_retries(self):
+        sim, client, server = pair()
+        server.tcp.listen(53, lambda conn: None)
+        conn = client.tcp.connect(SERVER_IP, 53)
+        sim.run(until=0.1)
+        # the server vanishes: all data segments will be lost
+        link = client.links[0]
+        link.loss = 1.0
+        conn.send(b"doomed")
+        sim.run(until=120.0)
+        assert conn.state is TcpState.CLOSED
+        assert conn._retransmits == 0 or conn.state is TcpState.CLOSED
+
+    def test_retransmit_counter_resets_on_progress(self):
+        sim, client, server = pair(seed=8, loss=0.3)
+        received = []
+
+        def on_connection(conn):
+            conn.on_data = lambda c, data: received.append(data)
+
+        server.tcp.listen(53, on_connection)
+        conn = client.tcp.connect(
+            SERVER_IP, 53, on_established=lambda c: c.send(b"z" * 8000)
+        )
+        sim.run(until=60.0)
+        assert b"".join(received) == b"z" * 8000
+
+
+class TestHalfClose:
+    def test_client_close_then_server_keeps_sending(self):
+        """Passive side may keep sending after receiving FIN (CLOSE_WAIT)."""
+        sim, client, server = pair()
+        got = []
+
+        def on_connection(conn):
+            def on_data(c, data):
+                if data == b"":  # client's FIN (EOF)
+                    c.send(b"parting-gift")
+                    c.close()
+
+            conn.on_data = on_data
+
+        server.tcp.listen(53, on_connection)
+        conn = client.tcp.connect(
+            SERVER_IP, 53,
+            on_established=lambda c: c.close(),
+            on_data=lambda c, data: got.append(data),
+        )
+        sim.run(until=5.0)
+        assert b"".join(got).replace(b"", b"") == b"parting-gift"
+        assert client.tcp.open_connections == 0
+        assert server.tcp.open_connections == 0
+
+
+class TestWindowing:
+    def test_send_window_bounds_inflight(self):
+        sim, client, server = pair()
+        # a black-hole server: accept the handshake then drop all data ACKs
+        server.tcp.listen(53, lambda conn: None)
+        conn = client.tcp.connect(SERVER_IP, 53)
+        sim.run(until=0.1)
+        client.links[0].loss = 1.0  # nothing gets through any more
+        conn.send(b"q" * (MSS * (SEND_WINDOW_SEGMENTS + 10)))
+        # only a window's worth was put in flight
+        assert len(conn._inflight) <= SEND_WINDOW_SEGMENTS
+
+    def test_window_refills_as_acks_arrive(self):
+        sim, client, server = pair()
+        received = []
+
+        def on_connection(conn):
+            conn.on_data = lambda c, data: received.append(len(data))
+
+        server.tcp.listen(53, on_connection)
+        total = MSS * (SEND_WINDOW_SEGMENTS + 8)
+        client.tcp.connect(SERVER_IP, 53, on_established=lambda c: c.send(b"w" * total))
+        sim.run(until=10.0)
+        assert sum(received) == total
+
+
+class TestDuplicateDelivery:
+    def test_duplicate_segment_not_delivered_twice(self):
+        sim, client, server = pair()
+        chunks = []
+        server_conns = []
+
+        def on_connection(conn):
+            server_conns.append(conn)
+            conn.on_data = lambda c, data: chunks.append(data)
+
+        server.tcp.listen(53, on_connection)
+        conn = client.tcp.connect(SERVER_IP, 53, on_established=lambda c: c.send(b"once"))
+        sim.run(until=0.5)
+        # replay the exact data segment
+        dup = TcpSegment(
+            sport=conn.local_port, dport=53,
+            seq=conn.iss + 1, ack=server_conns[0].snd_nxt,
+            flags=TcpFlags.ACK, data=b"once",
+        )
+        client.send(Packet(src=IPv4Address("10.0.0.1"), dst=SERVER_IP, segment=dup))
+        sim.run(until=1.0)
+        assert b"".join(chunks) == b"once"

@@ -1,0 +1,70 @@
+"""Property-based tests: the TCP byte stream is reliable and ordered."""
+
+from ipaddress import IPv4Address
+
+from hypothesis import given, settings, strategies as st
+
+from repro.netsim import Link, Node, Simulator
+
+SERVER_IP = IPv4Address("10.0.0.2")
+
+
+def transfer(blobs: list[bytes], loss: float, seed: int, *, syn_cookies: bool) -> bytes:
+    """Send ``blobs`` over one connection and return what the server read."""
+    sim = Simulator(seed=seed)
+    client = Node(sim, "client")
+    client.add_address("10.0.0.1")
+    server = Node(sim, "server")
+    server.add_address(SERVER_IP)
+    Link(sim, client, server, delay=0.001, loss=loss)
+    received = bytearray()
+
+    def on_connection(conn):
+        conn.on_data = lambda c, data: received.extend(data)
+
+    server.tcp.listen(53, on_connection, syn_cookies=syn_cookies)
+
+    def on_established(conn):
+        for blob in blobs:
+            conn.send(blob)
+        conn.close()
+
+    client.tcp.connect(SERVER_IP, 53, on_established=on_established)
+    sim.run(until=60.0)
+    return bytes(received)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    blobs=st.lists(st.binary(min_size=1, max_size=4000), min_size=1, max_size=5),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_lossless_stream_integrity(blobs, seed):
+    assert transfer(blobs, 0.0, seed, syn_cookies=False) == b"".join(blobs)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    blobs=st.lists(st.binary(min_size=1, max_size=3000), min_size=1, max_size=4),
+    loss=st.floats(min_value=0.0, max_value=0.25),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_lossy_stream_integrity(blobs, loss, seed):
+    """Whatever the loss pattern, delivered bytes are a prefix-exact match."""
+    got = transfer(blobs, loss, seed, syn_cookies=False)
+    expected = b"".join(blobs)
+    # retransmission may still be in progress at the horizon under extreme
+    # loss, but delivered data is never corrupted or reordered
+    assert expected.startswith(got)
+    if loss < 0.15:
+        assert got == expected
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    blobs=st.lists(st.binary(min_size=1, max_size=2000), min_size=1, max_size=3),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_syn_cookie_listener_equivalent(blobs, seed):
+    """A SYN-cookie listener delivers the same stream as a stateful one."""
+    assert transfer(blobs, 0.0, seed, syn_cookies=True) == b"".join(blobs)

@@ -1,0 +1,154 @@
+"""Property-based tests: any message we can build must round-trip the wire."""
+
+import string
+from ipaddress import IPv4Address
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dnswire import (
+    A,
+    CNAME,
+    Header,
+    Message,
+    MX,
+    NS,
+    Name,
+    Question,
+    ResourceRecord,
+    RRClass,
+    RRType,
+    SOA,
+    TXT,
+)
+
+_LABEL_ALPHABET = string.ascii_letters + string.digits + "-_"
+
+labels = st.text(alphabet=_LABEL_ALPHABET, min_size=1, max_size=20).map(
+    lambda s: s.encode("ascii")
+)
+names = st.lists(labels, min_size=0, max_size=6).map(Name)
+ipv4s = st.integers(min_value=0, max_value=2**32 - 1).map(IPv4Address)
+ttls = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@st.composite
+def rdatas(draw):
+    kind = draw(st.sampled_from(["A", "NS", "CNAME", "MX", "SOA", "TXT"]))
+    if kind == "A":
+        return RRType.A, A(draw(ipv4s))
+    if kind == "NS":
+        return RRType.NS, NS(draw(names))
+    if kind == "CNAME":
+        return RRType.CNAME, CNAME(draw(names))
+    if kind == "MX":
+        return RRType.MX, MX(draw(st.integers(0, 65535)), draw(names))
+    if kind == "SOA":
+        return RRType.SOA, SOA(
+            draw(names),
+            draw(names),
+            draw(st.integers(0, 2**32 - 1)),
+            draw(st.integers(0, 2**32 - 1)),
+            draw(st.integers(0, 2**32 - 1)),
+            draw(st.integers(0, 2**32 - 1)),
+            draw(st.integers(0, 2**32 - 1)),
+        )
+    return RRType.TXT, TXT(
+        tuple(draw(st.lists(st.binary(min_size=0, max_size=255), min_size=1, max_size=3)))
+    )
+
+
+@st.composite
+def resource_records(draw):
+    rtype, rdata = draw(rdatas())
+    return ResourceRecord(draw(names), rtype, RRClass.IN, draw(ttls), rdata)
+
+
+@st.composite
+def messages(draw):
+    header = Header(
+        msg_id=draw(st.integers(0, 0xFFFF)),
+        qr=draw(st.booleans()),
+        aa=draw(st.booleans()),
+        tc=draw(st.booleans()),
+        rd=draw(st.booleans()),
+        ra=draw(st.booleans()),
+        rcode=draw(st.integers(0, 5)),
+    )
+    msg = Message(header=header)
+    msg.questions = draw(
+        st.lists(
+            names.map(lambda n: Question(n, RRType.A, RRClass.IN)), min_size=0, max_size=2
+        )
+    )
+    msg.answers = draw(st.lists(resource_records(), max_size=4))
+    msg.authorities = draw(st.lists(resource_records(), max_size=3))
+    msg.additionals = draw(st.lists(resource_records(), max_size=3))
+    return msg
+
+
+@given(name=names)
+def test_name_roundtrip_uncompressed(name):
+    decoded, end = Name.decode(name.to_wire(), 0)
+    assert decoded == name
+    assert end == name.wire_length()
+
+
+@given(first=names, second=names)
+def test_name_pair_roundtrip_with_compression(first, second):
+    buf = bytearray()
+    offsets: dict[Name, int] = {}
+    first.encode(buf, offsets)
+    start = len(buf)
+    second.encode(buf, offsets)
+    got1, _ = Name.decode(bytes(buf), 0)
+    got2, end2 = Name.decode(bytes(buf), start)
+    assert got1 == first
+    assert got2 == second
+    assert end2 == len(buf)
+
+
+@given(name=names)
+def test_compression_never_beats_wire_limit(name):
+    """Compressed encoding is never longer than uncompressed."""
+    buf = bytearray()
+    name.encode(buf, offsets={})
+    assert len(buf) <= name.wire_length()
+
+
+@settings(max_examples=200)
+@given(msg=messages())
+def test_message_roundtrip_compressed(msg):
+    decoded = Message.decode(msg.encode(compress=True))
+    assert decoded.questions == msg.questions
+    assert decoded.answers == msg.answers
+    assert decoded.authorities == msg.authorities
+    assert decoded.additionals == msg.additionals
+    assert decoded.header.msg_id == msg.header.msg_id
+    assert decoded.header.flags_word() == msg.header.flags_word()
+
+
+@settings(max_examples=100)
+@given(msg=messages())
+def test_message_roundtrip_uncompressed(msg):
+    decoded = Message.decode(msg.encode(compress=False))
+    assert decoded.answers == msg.answers
+    assert decoded.questions == msg.questions
+
+
+@settings(max_examples=100)
+@given(msg=messages(), max_size=st.integers(min_value=12, max_value=512))
+def test_truncated_encoding_respects_max_size(msg, max_size):
+    # messages whose question section alone exceeds max_size cannot shrink,
+    # so only check the TC invariant when the question fits
+    stripped = Message(header=msg.header, questions=msg.questions)
+    if len(stripped.encode()) > max_size:
+        return
+    wire = msg.encode(max_size=max_size)
+    assert len(wire) <= max_size
+    decoded = Message.decode(wire)
+    if len(msg.encode()) > max_size:
+        # truncation actually happened: records dropped, TC raised
+        assert decoded.header.tc
+        assert decoded.answers == []
+        assert decoded.authorities == []
+        assert decoded.additionals == []

@@ -1,0 +1,72 @@
+"""Property test: zone -> master file -> zone preserves lookup behaviour."""
+
+import string
+from ipaddress import IPv4Address
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dns import AnswerKind, Zone, parse_zone_text
+from repro.dnswire import Name, RRType, soa_record
+
+labels = st.text(alphabet=string.ascii_lowercase + string.digits, min_size=1, max_size=10)
+host_labels = st.lists(labels, min_size=1, max_size=2)
+ipv4s = st.integers(min_value=0x01000000, max_value=0xDFFFFFFF).map(IPv4Address)
+
+
+@st.composite
+def zones(draw):
+    zone = Zone("example.com.")
+    zone.add(soa_record("example.com."))
+    names = draw(st.lists(host_labels, min_size=1, max_size=8, unique_by=tuple))
+    table = {}
+    for parts in names:
+        name = Name((*[p.encode() for p in parts], b"example", b"com"))
+        address = draw(ipv4s)
+        zone.add_a(name, address, ttl=draw(st.integers(min_value=1, max_value=86400)))
+        table[name] = address
+    return zone, table
+
+
+@settings(max_examples=50)
+@given(data=zones())
+def test_zone_text_round_trip_preserves_answers(data):
+    zone, table = data
+    reparsed = parse_zone_text(zone.to_text())
+    for name, address in table.items():
+        result = reparsed.lookup(name, RRType.A)
+        assert result.kind is AnswerKind.ANSWER
+        assert address in {rr.rdata.address for rr in result.records}
+
+
+@settings(max_examples=30)
+@given(data=zones())
+def test_round_trip_preserves_ttls_and_counts(data):
+    zone, _ = data
+    reparsed = parse_zone_text(zone.to_text())
+    assert reparsed.record_count() == zone.record_count()
+    assert reparsed.origin == zone.origin
+
+
+def test_delegations_round_trip():
+    zone = Zone("example.com.")
+    zone.add(soa_record("example.com."))
+    zone.delegate("sub.example.com.", "ns1.sub.example.com.", "203.0.113.9")
+    reparsed = parse_zone_text(zone.to_text())
+    result = reparsed.lookup(Name.from_text("x.sub.example.com."), RRType.A)
+    assert result.kind is AnswerKind.DELEGATION
+    assert result.additional[0].rdata.address == IPv4Address("203.0.113.9")
+
+
+def test_mixed_types_round_trip():
+    zone = parse_zone_text(
+        "$ORIGIN m.example.\n"
+        "@ IN SOA ns1 h 1 2 3 4 5\n"
+        "@ IN MX 10 mx1\n"
+        "mx1 IN A 10.0.0.25\n"
+        "alias IN CNAME mx1\n"
+        "_sip._tcp IN SRV 5 10 5060 mx1\n"
+        'note IN TXT "hello"\n'
+    )
+    again = parse_zone_text(zone.to_text())
+    assert again.record_count() == zone.record_count()
+    assert again.lookup(Name.from_text("alias.m.example."), RRType.A).kind is AnswerKind.CNAME
