@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# CI / pre-commit entrypoint: determinism lint, tier-1 tests, and a quick
+# runtime-sanitizer pass over a representative experiment.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== determinism lint (python -m repro.analysis src) =="
+python -m repro.analysis src
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== determinism sanitizer (table2, two seeds) =="
+python -m repro table2 --sanitize
+python -m repro table2 --sanitize --seed 7
+
+echo "all checks passed"

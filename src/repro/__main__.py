@@ -1,8 +1,10 @@
 """Command-line interface: ``python -m repro <command>``.
 
 Commands regenerate the paper's tables and figures or run a quick demo.
-Each accepts ``--fast`` for a reduced (but representative) configuration
-and ``--seed`` for reproducibility.
+Each accepts ``--fast`` for a reduced (but representative) configuration,
+``--seed`` for reproducibility, and ``--sanitize`` to run the command
+twice under the determinism sanitizer (comparing full event-trace hashes)
+instead of printing its normal output.
 """
 
 from __future__ import annotations
@@ -229,8 +231,20 @@ def main(argv: list[str] | None = None) -> int:
         sub.add_argument(
             "--plot", action="store_true", help="also render an ASCII chart"
         )
+        sub.add_argument(
+            "--sanitize",
+            action="store_true",
+            help="run the command twice under the determinism sanitizer and "
+            "compare event-trace hashes instead of printing results",
+        )
     args = parser.parse_args(argv)
     handler, _ = _COMMANDS[args.command]
+    if args.sanitize:
+        from repro.analysis.sanitizer import run_sanitized
+
+        report = run_sanitized(lambda: handler(args))
+        print(report.summary())
+        return 0 if report.matched else 1
     return handler(args)
 
 

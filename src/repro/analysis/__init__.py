@@ -1,0 +1,43 @@
+"""Static analysis + runtime sanitizer guarding the repo's determinism.
+
+Every reproduced result depends on the claim that a ``Simulator`` run is
+bit-for-bit reproducible from its seed.  This package enforces it:
+
+* :mod:`repro.analysis.rules` — repo-specific AST lint rules (D001 wall
+  clock, D002 global randomness, D003 unordered scheduling, D004 mutable
+  defaults, D005 float time equality, W001 swallowed exceptions), each
+  suppressible inline with ``# repro: allow[RULE]``;
+* :mod:`repro.analysis.engine` — file discovery, parsing, suppression
+  filtering; :func:`lint_paths` / :func:`lint_source`;
+* :mod:`repro.analysis.sanitizer` — runtime dual-run trace comparison;
+  :func:`run_sanitized` plus ``python -m repro <cmd> --sanitize``;
+* :mod:`repro.analysis.cli` — ``python -m repro.analysis [paths...]``,
+  nonzero exit on findings for CI.
+"""
+
+from .engine import lint_file, lint_paths, lint_source, suppressed_rules
+from .findings import Finding
+from .rules import RULES, LintRule, register
+from .sanitizer import (
+    Divergence,
+    SanitizeReport,
+    TraceCollector,
+    capture_traces,
+    run_sanitized,
+)
+
+__all__ = [
+    "Divergence",
+    "Finding",
+    "LintRule",
+    "RULES",
+    "SanitizeReport",
+    "TraceCollector",
+    "capture_traces",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "register",
+    "run_sanitized",
+    "suppressed_rules",
+]

@@ -1,0 +1,95 @@
+"""``python -m repro.analysis [--format=text|json] [paths...]``.
+
+Runs the determinism lint over the given paths (default: ``src``) and
+exits nonzero on findings, so it slots directly into CI and pre-commit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .engine import lint_paths
+from .rules import RULES
+
+
+def _rule_table() -> str:
+    lines = ["rule   summary", "-----  -------"]
+    for rule_id in sorted(RULES):
+        rule = RULES[rule_id]
+        lines.append(f"{rule_id:<6} {rule.summary}")
+        lines.append(f"       why: {rule.rationale}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Determinism lint for the simulation core: flags wall-clock "
+            "reads, global randomness, unordered scheduling, and other "
+            "reproducibility hazards."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_rule_table())
+        return 0
+
+    rule_ids = None
+    if args.rules:
+        rule_ids = [part.strip() for part in args.rules.split(",") if part.strip()]
+    try:
+        findings = lint_paths(args.paths, rule_ids=rule_ids)
+    except (FileNotFoundError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        if args.format == "json":
+            print(
+                json.dumps(
+                    {
+                        "findings": [finding.to_dict() for finding in findings],
+                        "count": len(findings),
+                    },
+                    indent=2,
+                )
+            )
+        else:
+            for finding in findings:
+                print(finding.format_text())
+            noun = "finding" if len(findings) == 1 else "findings"
+            print(f"{len(findings)} {noun}")
+    except BrokenPipeError:
+        # reader (e.g. `| head`) closed the pipe — the verdict still stands
+        sys.stderr.close()
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

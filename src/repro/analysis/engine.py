@@ -1,0 +1,112 @@
+"""AST lint engine: parse files, run the rule registry, honour suppressions.
+
+Stdlib-only (``ast`` + ``re``); no third-party linter frameworks.  The
+engine is deliberately small: rules do the pattern matching, the engine
+owns file discovery, parsing, inline-suppression filtering and ordering.
+
+Suppression syntax
+==================
+
+Append ``# repro: allow[D002]`` (or ``allow[D002,W001]``) to the offending
+line.  The marker suppresses only the listed rule ids, only on that line.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from .findings import Finding
+from .rules import RULES, LintRule
+
+#: Rule id used for files that fail to parse.
+SYNTAX_ERROR_RULE = "E999"
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_\s,]+)\]")
+
+#: Directory names never descended into during file discovery.
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "build", "dist"}
+
+
+def suppressed_rules(source: str) -> dict[int, set[str]]:
+    """Map of 1-based line number -> rule ids allowed on that line."""
+    allowed: dict[int, set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _ALLOW_RE.search(line)
+        if match:
+            rules = {part.strip() for part in match.group(1).split(",") if part.strip()}
+            allowed.setdefault(lineno, set()).update(rules)
+    return allowed
+
+
+def _select_rules(rule_ids: Iterable[str] | None) -> list[LintRule]:
+    if rule_ids is None:
+        selected = sorted(RULES)
+    else:
+        unknown = sorted(set(rule_ids) - set(RULES))
+        if unknown:
+            raise KeyError(f"unknown lint rule ids: {', '.join(unknown)}")
+        selected = sorted(set(rule_ids))
+    return [RULES[rule_id]() for rule_id in selected]
+
+
+def lint_source(
+    source: str, path: str = "<string>", *, rule_ids: Iterable[str] | None = None
+) -> list[Finding]:
+    """Lint one source string; returns findings sorted by location."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                rule=SYNTAX_ERROR_RULE,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    allowed = suppressed_rules(source)
+    findings: list[Finding] = []
+    for rule in _select_rules(rule_ids):
+        for finding in rule.check(tree, path):
+            if finding.rule in allowed.get(finding.line, ()):
+                continue
+            findings.append(finding)
+    return sorted(findings, key=Finding.sort_key)
+
+
+def lint_file(path: str | Path, *, rule_ids: Iterable[str] | None = None) -> list[Finding]:
+    """Lint one file on disk."""
+    file_path = Path(path)
+    source = file_path.read_text(encoding="utf-8", errors="replace")
+    return lint_source(source, str(file_path), rule_ids=rule_ids)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Yield .py files under ``paths`` in sorted order, skipping junk dirs."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+            continue
+        if not path.is_dir():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        for candidate in sorted(path.rglob("*.py")):
+            parts = set(candidate.parts)
+            if parts & _SKIP_DIRS or any(p.startswith(".") for p in candidate.parts):
+                continue
+            yield candidate
+
+
+def lint_paths(
+    paths: Iterable[str | Path], *, rule_ids: Iterable[str] | None = None
+) -> list[Finding]:
+    """Lint every Python file under ``paths``; findings sorted by location."""
+    findings: list[Finding] = []
+    for file_path in iter_python_files(paths):
+        findings.extend(lint_file(file_path, rule_ids=rule_ids))
+    return sorted(findings, key=Finding.sort_key)

@@ -1,0 +1,394 @@
+"""Repo-specific determinism lint rules.
+
+Every paper result this repo reproduces rests on ``Simulator`` runs being
+bit-for-bit reproducible from a seed.  These rules catch the source-level
+patterns that silently break that property.
+
+Adding a rule
+=============
+
+Subclass :class:`LintRule`, set ``id``/``summary``/``rationale``, implement
+``check``, and decorate with :func:`register` — roughly 20 lines::
+
+    @register
+    class NoSleep(LintRule):
+        id = "D006"
+        summary = "no time.sleep in simulation code"
+        rationale = "virtual time never needs the host clock"
+
+        def check(self, tree, path):
+            for node in ast.walk(tree):
+                if (isinstance(node, ast.Call)
+                        and dotted_name(node.func) == "time.sleep"):
+                    yield self.finding(path, node, "time.sleep() call")
+
+Suppress a finding inline with ``# repro: allow[D006]`` on the offending
+line (comma-separate several rule ids in one marker).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator
+
+from .findings import Finding
+
+#: Rule registry: id -> rule class.  Populated by :func:`register`.
+RULES: dict[str, type["LintRule"]] = {}
+
+
+def register(rule_cls: type["LintRule"]) -> type["LintRule"]:
+    """Class decorator adding a rule to the registry (id must be unique)."""
+    if rule_cls.id in RULES:
+        raise ValueError(f"duplicate lint rule id {rule_cls.id!r}")
+    RULES[rule_cls.id] = rule_cls
+    return rule_cls
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class LintRule:
+    """Base class: one determinism rule, stateless, checked per file."""
+
+    id: ClassVar[str]
+    summary: ClassVar[str]
+    rationale: ClassVar[str]
+
+    def check(self, tree: ast.AST, path: str) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, path: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.id,
+            message=message,
+        )
+
+
+# ---------------------------------------------------------------------------
+# D001 — wall-clock reads
+# ---------------------------------------------------------------------------
+
+_WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.clock_gettime",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+    "date.today",
+}
+
+
+@register
+class NoWallClock(LintRule):
+    id = "D001"
+    summary = "no wall-clock reads in simulation code"
+    rationale = (
+        "simulated behaviour keyed to the host clock differs on every run; "
+        "all time must come from Simulator.now"
+    )
+
+    def check(self, tree: ast.AST, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name in _WALL_CLOCK_CALLS:
+                    yield self.finding(
+                        path, node, f"wall-clock read {name}() — use Simulator.now"
+                    )
+
+
+# ---------------------------------------------------------------------------
+# D002 — unseeded / process-global randomness
+# ---------------------------------------------------------------------------
+
+_GLOBAL_RNG_FNS = {
+    "random",
+    "randint",
+    "randrange",
+    "randbytes",
+    "getrandbits",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "uniform",
+    "triangular",
+    "gauss",
+    "normalvariate",
+    "lognormvariate",
+    "expovariate",
+    "vonmisesvariate",
+    "gammavariate",
+    "betavariate",
+    "paretovariate",
+    "weibullvariate",
+    "seed",
+}
+
+#: OS-entropy reads: every bit drawn here is unreproducible from a seed.
+_OS_ENTROPY_CALLS = {
+    "secrets.token_bytes",
+    "secrets.token_hex",
+    "secrets.token_urlsafe",
+    "secrets.randbits",
+    "secrets.randbelow",
+    "secrets.choice",
+    "os.urandom",
+}
+
+
+@register
+class NoGlobalRandom(LintRule):
+    id = "D002"
+    summary = "no global/unseeded randomness outside Simulator.rng"
+    rationale = (
+        "the process-global random module and unseeded random.Random() draw "
+        "from OS entropy; every stochastic choice must flow from the seeded "
+        "Simulator.rng"
+    )
+
+    def check(self, tree: ast.AST, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        yield self.finding(
+                            path,
+                            node,
+                            "import random — draw from the seeded Simulator.rng "
+                            "instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield self.finding(
+                        path,
+                        node,
+                        "from random import ... — draw from the seeded "
+                        "Simulator.rng instead",
+                    )
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name == "random.Random" and not node.args and not node.keywords:
+                    yield self.finding(
+                        path,
+                        node,
+                        "unseeded random.Random() — pass an explicit seed or use "
+                        "Simulator.rng",
+                    )
+                elif (
+                    name is not None
+                    and name.startswith("random.")
+                    and name.removeprefix("random.") in _GLOBAL_RNG_FNS
+                ):
+                    yield self.finding(
+                        path,
+                        node,
+                        f"{name}() uses the process-global RNG — use Simulator.rng",
+                    )
+                elif name in _OS_ENTROPY_CALLS:
+                    yield self.finding(
+                        path,
+                        node,
+                        f"{name}() draws OS entropy — not reproducible from a "
+                        "seed; plumb key material through Simulator.rng",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# D003 — unordered iteration feeding event scheduling
+# ---------------------------------------------------------------------------
+
+_SCHEDULE_METHODS = {"schedule", "schedule_at"}
+_DICT_VIEW_METHODS = {"keys", "values", "items"}
+
+
+def _is_unordered_iterable(node: ast.expr) -> str | None:
+    """Why ``for x in <node>`` has no guaranteed deterministic order."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "set literal"
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return f"{func.id}() result"
+        if isinstance(func, ast.Attribute) and func.attr in _DICT_VIEW_METHODS:
+            return f".{func.attr}() view"
+    return None
+
+
+def _schedules_events(body: list[ast.stmt]) -> ast.Call | None:
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Attribute) and func.attr in _SCHEDULE_METHODS:
+                    return node
+                if isinstance(func, ast.Name) and func.id in _SCHEDULE_METHODS:
+                    return node
+    return None
+
+
+@register
+class NoUnorderedScheduling(LintRule):
+    id = "D003"
+    summary = "no set/dict-order iteration feeding event scheduling"
+    rationale = (
+        "set iteration order (and dict order, when insertion order is itself "
+        "unstable) depends on hashes and allocation; events scheduled from "
+        "such loops land in a run-dependent sequence — wrap the iterable in "
+        "sorted(...)"
+    )
+
+    def check(self, tree: ast.AST, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.For, ast.AsyncFor)):
+                continue
+            why = _is_unordered_iterable(node.iter)
+            if why is None:
+                continue
+            call = _schedules_events(node.body)
+            if call is not None:
+                yield self.finding(
+                    path,
+                    node,
+                    f"iterating a {why} schedules events — wrap the iterable "
+                    "in sorted(...) for a deterministic order",
+                )
+
+
+# ---------------------------------------------------------------------------
+# D004 — mutable default arguments
+# ---------------------------------------------------------------------------
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        return isinstance(func, ast.Name) and func.id in ("list", "dict", "set", "bytearray")
+    return False
+
+
+@register
+class NoMutableDefaults(LintRule):
+    id = "D004"
+    summary = "no mutable default arguments"
+    rationale = (
+        "a mutable default is shared across calls; state leaking between "
+        "two supposedly independent simulator runs makes the second run "
+        "depend on the first"
+    )
+
+    def check(self, tree: ast.AST, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    yield self.finding(
+                        path,
+                        default,
+                        f"mutable default argument in {node.name}() — use None "
+                        "and construct inside the body",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# D005 — floating-point equality on virtual time
+# ---------------------------------------------------------------------------
+
+_TIME_NAMES = {"now", "vtime", "virtual_time"}
+
+
+def _mentions_virtual_time(node: ast.expr) -> bool:
+    if isinstance(node, ast.Attribute):
+        return node.attr in _TIME_NAMES
+    if isinstance(node, ast.Name):
+        return node.id in _TIME_NAMES
+    return False
+
+
+@register
+class NoFloatTimeEquality(LintRule):
+    id = "D005"
+    summary = "no floating-point == / != on virtual time"
+    rationale = (
+        "virtual timestamps are accumulated floats; exact equality is "
+        "rounding-order dependent — compare with a tolerance or order by "
+        "event sequence instead"
+    )
+
+    def check(self, tree: ast.AST, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            operands = [node.left, *node.comparators]
+            if any(_mentions_virtual_time(operand) for operand in operands):
+                yield self.finding(
+                    path,
+                    node,
+                    "exact float comparison on virtual time — use a tolerance "
+                    "(abs(a - b) < eps) or compare event ordering",
+                )
+
+
+# ---------------------------------------------------------------------------
+# W001 — swallowed exceptions in event callbacks
+# ---------------------------------------------------------------------------
+
+
+@register
+class NoSwallowedExceptions(LintRule):
+    id = "W001"
+    summary = "no bare except / silently swallowed exceptions"
+    rationale = (
+        "an exception swallowed inside an event callback silently truncates "
+        "the event cascade, producing a plausible-looking but wrong run; "
+        "failures must surface or be narrowly handled"
+    )
+
+    def check(self, tree: ast.AST, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    path, node, "bare except: — catch a specific exception type"
+                )
+                continue
+            type_name = dotted_name(node.type)
+            body_is_pass = len(node.body) == 1 and isinstance(node.body[0], ast.Pass)
+            if type_name in ("Exception", "BaseException") and body_is_pass:
+                yield self.finding(
+                    path,
+                    node,
+                    f"except {type_name}: pass swallows every failure — "
+                    "handle or re-raise",
+                )

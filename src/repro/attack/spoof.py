@@ -99,7 +99,7 @@ class SpoofingAttacker:
         try:
             self.node.send(packet)
             self.packets_sent += 1
-        except Exception:  # noqa: BLE001 - unroutable spoof targets
+        except Exception:  # noqa: BLE001 - unroutable spoof targets  # repro: allow[W001]
             pass
 
 

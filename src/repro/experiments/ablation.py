@@ -39,11 +39,9 @@ def run_hcf_ablation(
     *, clients: int = 500, attacker_hops: int = 12, seed: int = 7
 ) -> HcfResult:
     """Learn a realistic hop-count table, then measure impersonation room."""
-    import random
-
-    rng = random.Random(seed)
+    # draw from the testbed's seeded RNG plumbing, not the random module
+    rng = Simulator(seed=seed).rng
     hcf = HopCountFilter()
-    factory = CookieFactory(random_key())
     # clients at internet-like distances (roughly normal around 12 hops)
     for i in range(clients):
         hops = max(1, min(30, round(rng.gauss(12, 4))))
@@ -138,16 +136,17 @@ class RotationResult:
     survivors_naive: int
 
 
-def run_rotation_ablation(*, cookies: int = 1000) -> RotationResult:
+def run_rotation_ablation(*, cookies: int = 1000, seed: int = 0) -> RotationResult:
     """How many outstanding cookies survive a key change, per design."""
-    with_bit = CookieFactory(random_key())
-    naive = CookieFactory(random_key())
+    rng = Simulator(seed=seed).rng
+    with_bit = CookieFactory(random_key(rng))
+    naive = CookieFactory(random_key(rng))
     sources = [IPv4Address(0x0C000000 + i) for i in range(cookies)]
     bit_cookies = [with_bit.cookie(ip) for ip in sources]
     naive_cookies = [naive.cookie(ip) for ip in sources]
 
-    with_bit.rotate()
-    naive.rotate()
+    with_bit.rotate(random_key(rng))
+    naive.rotate(random_key(rng))
     naive._previous_key = None  # naive rotation forgets the old key
 
     survivors_bit = sum(with_bit.verify(c, ip) for c, ip in zip(bit_cookies, sources))

@@ -16,7 +16,7 @@ from ipaddress import IPv4Address
 
 from ..dns import AuthoritativeServer, DnsCache, LocalRecursiveServer, Zone
 from ..dnswire import Name, RRType, soa_record
-from ..guard import CookieFactory, RemoteDnsGuard
+from ..guard import CookieFactory, RemoteDnsGuard, random_key
 from ..netsim import Link, Node, Simulator
 
 ROOT_IP = IPv4Address("198.41.0.4")
@@ -118,7 +118,7 @@ class GuardedHierarchy:
             guard_node,
             server_ip,
             origin=origin,
-            cookie_factory=CookieFactory(),
+            cookie_factory=CookieFactory(random_key(self.sim.rng)),
             cookie_subnet=cookie_subnet,
             policy="dns",
         )

@@ -16,7 +16,7 @@ import dataclasses
 from ipaddress import IPv4Address
 
 from ..dnswire import Name, make_query, ZERO_COOKIE, attach_cookie, make_response
-from ..guard import CookieFactory, fabricated_referral, random_key
+from ..guard import KEY_LENGTH, CookieFactory, fabricated_referral
 from .calibration import WAN_RTT
 from .table2 import measure_scheme
 
@@ -34,7 +34,8 @@ class Table1Row:
 def _amplification_dns_based() -> int:
     """Measured response growth of a fabricated referral (message 2)."""
     query = make_query("www.foo.com", msg_id=1)
-    factory = CookieFactory(random_key())
+    # any fixed key: only wire sizes are measured, never cookie values
+    factory = CookieFactory(bytes(KEY_LENGTH))
     reply = fabricated_referral(
         query, Name.root(), factory.label_cookie(IPv4Address("10.0.0.1"))
     )
@@ -45,7 +46,7 @@ def _amplification_modified() -> int:
     """Cookie request vs grant size difference (must be zero)."""
     request = attach_cookie(make_query("www.foo.com", msg_id=1), ZERO_COOKIE)
     grant = make_response(request)
-    factory = CookieFactory(random_key())
+    factory = CookieFactory(bytes(KEY_LENGTH))
     attach_cookie(grant, factory.cookie(IPv4Address("10.0.0.1")))
     return grant.wire_size() - request.wire_size()
 

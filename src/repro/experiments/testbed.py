@@ -27,6 +27,7 @@ from ..guard import (
     RemoteDnsGuard,
     UnverifiedResponseLimiter,
     VerifiedRequestLimiter,
+    random_key,
 )
 from ..netsim import Link, Node, Simulator
 from .calibration import ANS_LINK_DELAY, LAN_LINK_DELAY, WAN_LINK_DELAY
@@ -96,8 +97,11 @@ class GuardTestbed:
         else:
             raise ValueError(f"unknown ans kind {ans!r}")
 
-        # the remote DNS guard; limiters default to open for load testing
-        self.cookie_factory = CookieFactory()
+        # the remote DNS guard; limiters default to open for load testing.
+        # The cookie key is drawn from the seeded simulator RNG — an
+        # OS-entropy key would make cookie-derived packet contents (and so
+        # the whole event trace) differ between same-seed runs.
+        self.cookie_factory = CookieFactory(random_key(self.sim.rng))
         if rl1 is None:
             rl1 = UnverifiedResponseLimiter(per_source_rate=OPEN_RATE, per_source_burst=OPEN_RATE)
         if rl2 is None:

@@ -39,9 +39,15 @@ LABEL_COOKIE_LENGTH = len(LABEL_PREFIX) + LABEL_HEX_DIGITS
 
 
 def random_key(rng=None) -> bytes:
-    """A fresh 76-byte secret key."""
+    """A fresh 76-byte secret key.
+
+    Simulated components must pass the seeded ``Simulator.rng`` so key
+    material — and everything derived from it: cookie values, fabricated
+    addresses, packet bytes — replays exactly from the seed.  The OS-entropy
+    default exists for production deployments only.
+    """
     if rng is None:
-        return secrets.token_bytes(KEY_LENGTH)
+        return secrets.token_bytes(KEY_LENGTH)  # repro: allow[D002] - production default, never inside a seeded run
     return bytes(rng.getrandbits(8) for _ in range(KEY_LENGTH))
 
 

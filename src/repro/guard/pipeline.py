@@ -44,7 +44,7 @@ from ..dnswire import (
     ZERO_COOKIE,
 )
 from ..netsim import DnsPayload, Link, Node, Packet, RoutingError, UdpDatagram
-from .cookie import CookieFactory
+from .cookie import CookieFactory, random_key
 from .costs import GuardCosts
 from .dns_scheme import (
     FABRICATED_NS_TTL,
@@ -105,7 +105,13 @@ class RemoteDnsGuard:
         self.node = node
         self.ans_address = ans_address
         self.origin = Name.from_text(origin) if isinstance(origin, str) else origin
-        self.cookies = cookie_factory if cookie_factory is not None else CookieFactory()
+        # default key material comes from the simulation's seeded RNG so a
+        # run (cookie values, fabricated addresses and all) replays exactly
+        self.cookies = (
+            cookie_factory
+            if cookie_factory is not None
+            else CookieFactory(random_key(node.sim.rng))
+        )
         self.costs = costs if costs is not None else GuardCosts()
         self.cookie_subnet = (
             IPv4Network(cookie_subnet) if isinstance(cookie_subnet, str) else cookie_subnet

@@ -23,7 +23,7 @@ from .packet import (
     UDP_HEADER_BYTES,
     UdpDatagram,
 )
-from .simulator import EventHandle, Simulator
+from .simulator import EventHandle, EventTrace, Simulator, set_trace_collector
 from .trace import PacketTracer, TraceRecord
 from .tcp import (
     DEFAULT_RTO,
@@ -48,6 +48,7 @@ __all__ = [
     "DEFAULT_RTO",
     "DnsPayload",
     "EventHandle",
+    "EventTrace",
     "IP_HEADER_BYTES",
     "Link",
     "Listener",
@@ -63,6 +64,7 @@ __all__ = [
     "SocketError",
     "Simulator",
     "SubnetAllocator",
+    "set_trace_collector",
     "TCP_HEADER_BYTES",
     "TcpConnection",
     "TcpFlags",

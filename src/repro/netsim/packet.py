@@ -129,3 +129,25 @@ class Packet:
 
     def __repr__(self) -> str:
         return f"Packet({self.src}->{self.dst} {self.protocol} {self.size}B)"
+
+    def trace_digest(self) -> str:
+        """Deterministic, id-free fingerprint for determinism event traces.
+
+        Captures addressing, ports and payload identity without touching
+        ``repr`` of payload objects (whose default representations embed
+        memory addresses that vary across runs).
+        """
+        seg = self.segment
+        if isinstance(seg, UdpDatagram):
+            payload = seg.payload
+            if isinstance(payload, DnsPayload):
+                detail = f"dns:{payload.message.header.msg_id}:{payload.size}"
+            else:
+                detail = f"raw:{payload.size}"
+            seg_text = f"udp:{seg.sport}>{seg.dport}:{detail}"
+        else:
+            seg_text = (
+                f"tcp:{seg.sport}>{seg.dport}:s{seg.seq}:a{seg.ack}"
+                f":f{int(seg.flags)}:{len(seg.data)}"
+            )
+        return f"pkt[{self.src}>{self.dst}:ttl{self.ttl}:{seg_text}]"

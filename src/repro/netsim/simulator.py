@@ -4,14 +4,186 @@ The :class:`Simulator` owns virtual time and a binary-heap event queue.
 Everything in the testbed — link propagation, CPU service completion,
 retransmission timers, load generators — is an event scheduled here, so a
 run with the same seed is bit-for-bit reproducible.
+
+That reproducibility claim is machine-checked rather than folklore:
+
+* ``repro.analysis`` lints the source tree for determinism hazards
+  (wall-clock reads, unseeded randomness, unordered iteration feeding the
+  scheduler);
+* an :class:`EventTrace` can hash the full executed event sequence —
+  ``Simulator(trace_hash=True)`` — and the runtime sanitizer
+  (:mod:`repro.analysis.sanitizer`, ``python -m repro <cmd> --sanitize``)
+  runs an experiment twice under allocation perturbation and compares
+  traces, reporting the first divergent event on mismatch.
 """
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 import itertools
-import random
+import math
+import random  # repro: allow[D002] - this module IS the seeded-RNG plumbing
 from typing import Any, Callable
+
+#: Events per rolling-hash checkpoint in :class:`EventTrace`.  Checkpoints
+#: let the sanitizer localise a divergence to a ~256-event window without
+#: storing per-event state on the (cheap) first pass.
+TRACE_CHECKPOINT_INTERVAL = 256
+
+
+def _describe_value(value: Any) -> str:
+    """A deterministic, id-free description of a callback argument.
+
+    ``repr`` of an arbitrary object embeds its memory address, which differs
+    between two runs in the same process — exactly the noise a determinism
+    trace must not contain.  Only types whose representations are known to
+    be stable are rendered in full; everything else falls back to its type
+    name plus a ``name`` attribute when one exists (nodes, links and most
+    testbed actors carry one).  Objects may opt into richer descriptions by
+    defining ``trace_digest() -> str``.
+    """
+    digest_fn = getattr(value, "trace_digest", None)
+    if callable(digest_fn):
+        return str(digest_fn())
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return repr(value)
+    if isinstance(value, (tuple, list)):
+        inner = ",".join(_describe_value(item) for item in value)
+        return f"[{inner}]" if isinstance(value, list) else f"({inner})"
+    cls = type(value)
+    # ipaddress / enum / Name-style value objects have stable reprs and no
+    # trace_digest hook; detect them by module rather than trusting every
+    # custom __repr__ (dataclass reprs recurse into fields that may not be
+    # stable).
+    if cls.__module__ in ("ipaddress", "enum"):
+        return str(value)
+    name = getattr(value, "name", None)
+    if isinstance(name, str):
+        return f"{cls.__qualname__}<{name}>"
+    return cls.__qualname__
+
+
+def _describe_callback(callback: Callable[..., Any]) -> str:
+    """Stable label for an event callback: qualname plus owner identity."""
+    func = callback
+    prefix = ""
+    partial_args = getattr(callback, "func", None)
+    if partial_args is not None and hasattr(callback, "args"):  # functools.partial
+        func = callback.func  # type: ignore[union-attr]
+        prefix = "partial:"
+    qualname = getattr(func, "__qualname__", None) or type(func).__qualname__
+    owner = getattr(func, "__self__", None)
+    if owner is not None:
+        owner_name = getattr(owner, "name", None)
+        if isinstance(owner_name, str):
+            return f"{prefix}{qualname}<{owner_name}>"
+    return prefix + qualname
+
+
+class EventTrace:
+    """A rolling hash of every event a :class:`Simulator` executes.
+
+    Each executed event contributes a deterministic description — virtual
+    time, scheduling sequence number, callback qualified name, argument
+    digests — to a BLAKE2b rolling hash.  Two runs of the same experiment
+    are event-for-event identical iff their final digests match.
+
+    Modes:
+
+    * default ("hash"): O(1) memory — the rolling hash plus one checkpoint
+      digest every :data:`TRACE_CHECKPOINT_INTERVAL` events, enough for the
+      sanitizer to bracket a divergence cheaply;
+    * ``keep_events=True``: additionally store an 8-byte digest and the full
+      description per event (up to ``event_limit`` events), enabling exact
+      first-divergence localisation.
+    """
+
+    __slots__ = (
+        "count",
+        "checkpoints",
+        "keep_events",
+        "event_limit",
+        "event_digests",
+        "descriptions",
+        "_hash",
+    )
+
+    def __init__(self, *, keep_events: bool = False, event_limit: int | None = None):
+        self._hash = hashlib.blake2b(digest_size=16)
+        self.count = 0
+        self.checkpoints: list[bytes] = []
+        self.keep_events = keep_events
+        self.event_limit = event_limit
+        self.event_digests = bytearray()  # 8 bytes per recorded event
+        self.descriptions: list[str] = []
+
+    def record(
+        self, time: float, sequence: int, callback: Callable[..., Any], args: tuple
+    ) -> None:
+        """Fold one executed event into the trace."""
+        arg_text = ",".join(_describe_value(a) for a in args)
+        description = f"t={time!r} #{sequence} {_describe_callback(callback)}({arg_text})"
+        self._hash.update(description.encode("utf-8", "backslashreplace"))
+        self._hash.update(b"\x00")
+        self.count += 1
+        if self.keep_events and (
+            self.event_limit is None or self.count <= self.event_limit
+        ):
+            self.event_digests += self._hash.digest()[:8]
+            self.descriptions.append(description)
+        if self.count % TRACE_CHECKPOINT_INTERVAL == 0:
+            self.checkpoints.append(self._hash.digest())
+
+    @property
+    def recorded(self) -> int:
+        """Events with stored per-event digests (≤ ``count``)."""
+        return len(self.event_digests) // 8
+
+    def event_digest(self, index: int) -> bytes:
+        """The 8-byte cumulative digest after recorded event ``index``."""
+        return bytes(self.event_digests[index * 8 : index * 8 + 8])
+
+    def digest(self) -> bytes:
+        return self._hash.digest()
+
+    def hexdigest(self) -> str:
+        """Hex digest over all events executed so far."""
+        return self._hash.hexdigest()
+
+
+class _TraceCollectorProtocol:
+    """What :func:`set_trace_collector` expects (duck-typed).
+
+    ``keep_events``/``event_limit`` configure traces of newly constructed
+    simulators; ``register(sim)`` is called once per simulator at
+    construction, in construction order.
+    """
+
+    keep_events: bool
+    event_limit: int | None
+
+    def register(self, sim: "Simulator") -> None:  # pragma: no cover - protocol
+        raise NotImplementedError
+
+
+_active_collector: _TraceCollectorProtocol | None = None
+
+
+def set_trace_collector(
+    collector: _TraceCollectorProtocol | None,
+) -> _TraceCollectorProtocol | None:
+    """Install a process-wide trace collector; returns the previous one.
+
+    While a collector is installed, every newly constructed
+    :class:`Simulator` gets an :class:`EventTrace` (configured from the
+    collector) and is registered with it.  The determinism sanitizer uses
+    this to observe simulators an experiment builds internally.
+    """
+    global _active_collector
+    previous = _active_collector
+    _active_collector = collector
+    return previous
 
 
 class EventHandle:
@@ -33,14 +205,29 @@ class Simulator:
 
     Events scheduled for the same instant fire in scheduling order, which
     keeps runs reproducible regardless of callback content.
+
+    With ``trace_hash=True`` (or while a sanitizer trace collector is
+    installed) every executed event is folded into ``self.trace``, an
+    :class:`EventTrace` whose digest fingerprints the entire run.
     """
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0, *, trace_hash: bool = False):
         self.now: float = 0.0
         self.rng = random.Random(seed)
         self._queue: list[tuple[float, int, EventHandle, Callable[..., Any], tuple]] = []
         self._sequence = itertools.count()
         self._events_processed = 0
+        collector = _active_collector
+        self.trace: EventTrace | None
+        if collector is not None:
+            self.trace = EventTrace(
+                keep_events=collector.keep_events, event_limit=collector.event_limit
+            )
+            collector.register(self)
+        elif trace_hash:
+            self.trace = EventTrace()
+        else:
+            self.trace = None
 
     # -- scheduling --------------------------------------------------------
 
@@ -52,6 +239,8 @@ class Simulator:
 
     def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
         """Run ``callback(*args)`` at absolute virtual time ``time``."""
+        if not math.isfinite(time):
+            raise ValueError(f"cannot schedule at non-finite time {time!r}")
         if time < self.now:
             raise ValueError(f"cannot schedule at {time} before now={self.now}")
         handle = EventHandle(time)
@@ -63,11 +252,13 @@ class Simulator:
     def step(self) -> bool:
         """Process one event.  Returns False when the queue is empty."""
         while self._queue:
-            time, _, handle, callback, args = heapq.heappop(self._queue)
+            time, sequence, handle, callback, args = heapq.heappop(self._queue)
             if handle.cancelled:
                 continue
             self.now = time
             self._events_processed += 1
+            if self.trace is not None:
+                self.trace.record(time, sequence, callback, args)
             callback(*args)
             return True
         return False

@@ -1,0 +1,123 @@
+"""Runtime determinism sanitizer: clean runs match, injected drift is caught."""
+
+from repro.analysis.sanitizer import capture_traces, run_sanitized
+from repro.netsim import Simulator
+
+
+def _clean_experiment():
+    sim = Simulator(seed=3)
+
+    def tick(remaining: int) -> None:
+        if remaining:
+            sim.schedule(0.01 + sim.rng.random() * 0.01, tick, remaining - 1)
+
+    sim.schedule(0.01, tick, 20)
+    sim.run()
+
+
+class TestCleanRuns:
+    def test_deterministic_experiment_matches(self):
+        report = run_sanitized(_clean_experiment)
+        assert report.matched
+        assert report.simulators == 1
+        assert report.events == 21
+        assert report.divergence is None
+        assert "OK" in report.summary()
+
+    def test_multiple_simulators_compared_pairwise(self):
+        def experiment():
+            for seed in (1, 2):
+                sim = Simulator(seed=seed)
+                sim.schedule(0.5, lambda: None)
+                sim.run()
+
+        report = run_sanitized(experiment)
+        assert report.matched
+        assert report.simulators == 2
+
+    def test_run_digest_stable_across_sanitizer_invocations(self):
+        first = run_sanitized(_clean_experiment)
+        second = run_sanitized(_clean_experiment)
+        assert first.run_digest == second.run_digest
+
+
+class TestInjectedNondeterminism:
+    def test_shared_state_dict_order_iteration_detected_and_localised(self):
+        """The classic bug: event scheduling driven by iteration over a
+        mutable mapping that outlives one run.  The second run sees more
+        entries, so its event stream grows — the report must name the first
+        divergent event."""
+        fired: list[int] = []
+        leaked: dict[object, int] = {}  # survives across sanitizer runs
+
+        def experiment():
+            sim = Simulator(seed=0)
+            leaked[object()] = len(leaked)
+            for _, index in leaked.items():
+                sim.schedule(0.001 * (index + 1), fired.append, index)
+            sim.run()
+
+        report = run_sanitized(experiment)
+        assert not report.matched
+        assert "NONDETERMINISM" in report.summary()
+        divergence = report.divergence
+        assert divergence is not None
+        assert divergence.sim_index == 0
+        # localisation pass = runs 3 and 4: run A fires 3 events, run B a
+        # 4th — the first bad event is the extra one at index 3.
+        assert divergence.event_index == 3
+        assert divergence.event_a is None
+        assert divergence.event_b is not None
+        assert "append" in divergence.event_b
+        assert str(divergence) in report.summary()
+
+    def test_global_rng_dependence_detected(self):
+        """Event content keyed to state the seed does not control."""
+        counter = [0]
+
+        def experiment():
+            sim = Simulator(seed=0)
+            counter[0] += 1
+            sim.schedule(0.001 * counter[0], lambda: None)
+            sim.run()
+
+        report = run_sanitized(experiment)
+        assert not report.matched
+        assert report.divergence is not None
+        assert report.divergence.event_index == 0
+
+    def test_differing_simulator_count_detected(self):
+        flip = [False]
+
+        def experiment():
+            flip[0] = not flip[0]
+            count = 2 if flip[0] else 1
+            for _ in range(count):
+                sim = Simulator(seed=0)
+                sim.schedule(0.1, lambda: None)
+                sim.run()
+
+        report = run_sanitized(experiment)
+        assert not report.matched
+        assert any("different number of simulators" in note for note in report.notes)
+
+
+class TestTraceCapture:
+    def test_capture_traces_registers_in_construction_order(self):
+        with capture_traces() as collector:
+            a = Simulator(seed=1)
+            b = Simulator(seed=2)
+        assert collector.traces == [a.trace, b.trace]
+
+    def test_collector_released_after_context(self):
+        with capture_traces():
+            pass
+        assert Simulator(seed=0).trace is None
+
+    def test_traced_experiment_output_suppressed(self, capsys):
+        def experiment():
+            print("noisy result table")
+
+        report = run_sanitized(experiment)
+        assert report.matched
+        assert "noisy" not in capsys.readouterr().out

@@ -116,6 +116,29 @@ class TestRunControl:
         assert fired == ["late"]
 
 
+class TestNonFiniteTimes:
+    def test_schedule_at_nan_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError, match="non-finite"):
+            sim.schedule_at(float("nan"), lambda: None)
+
+    def test_schedule_at_inf_rejected(self):
+        sim = Simulator()
+        for bad in (float("inf"), float("-inf")):
+            with pytest.raises(ValueError):
+                sim.schedule_at(bad, lambda: None)
+
+    def test_schedule_nan_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(float("nan"), lambda: None)
+
+    def test_schedule_inf_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError, match="non-finite"):
+            sim.schedule(float("inf"), lambda: None)
+
+
 class TestDeterminism:
     def test_same_seed_same_randoms(self):
         a, b = Simulator(seed=42), Simulator(seed=42)
@@ -124,3 +147,34 @@ class TestDeterminism:
     def test_different_seed_different_randoms(self):
         a, b = Simulator(seed=1), Simulator(seed=2)
         assert [a.rng.random() for _ in range(5)] != [b.rng.random() for _ in range(5)]
+
+
+class TestEventTrace:
+    @staticmethod
+    def _run(seed, delays):
+        sim = Simulator(seed=seed, trace_hash=True)
+        for delay in delays:
+            sim.schedule(delay, lambda: None)
+        sim.run()
+        return sim
+
+    def test_trace_disabled_by_default(self):
+        assert Simulator().trace is None
+
+    def test_identical_runs_identical_digests(self):
+        a = self._run(0, [0.1, 0.2, 0.3])
+        b = self._run(0, [0.1, 0.2, 0.3])
+        assert a.trace.hexdigest() == b.trace.hexdigest()
+        assert a.trace.count == 3
+
+    def test_different_schedules_different_digests(self):
+        a = self._run(0, [0.1, 0.2, 0.3])
+        b = self._run(0, [0.1, 0.2, 0.4])
+        assert a.trace.hexdigest() != b.trace.hexdigest()
+
+    def test_cancelled_events_do_not_enter_trace(self):
+        sim = Simulator(trace_hash=True)
+        sim.schedule(0.1, lambda: None)
+        sim.schedule(0.2, lambda: None).cancel()
+        sim.run()
+        assert sim.trace.count == 1
