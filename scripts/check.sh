@@ -15,4 +15,7 @@ echo "== determinism sanitizer (table2, two seeds) =="
 python -m repro table2 --sanitize
 python -m repro table2 --sanitize --seed 7
 
+echo "== fault-injection smoke (faults, sanitized) =="
+python -m repro faults --fast --sanitize
+
 echo "all checks passed"

@@ -186,6 +186,13 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.experiments.faults import format_faults, run_faults
+
+    print(format_faults(run_faults(seed=args.seed, fast=args.fast)))
+    return 0
+
+
 def _cmd_fluid(args: argparse.Namespace) -> int:
     from repro.experiments.fluid import format_predictions
 
@@ -206,6 +213,10 @@ _COMMANDS = {
     "containment": (
         _cmd_containment,
         "Containment timeline: throughput as an attack starts mid-run",
+    ),
+    "faults": (
+        _cmd_faults,
+        "Fault injection: blackout/flap/loss/chaos/restart/failover per scheme",
     ),
     "fluid": (_cmd_fluid, "Analytical model predictions"),
     "report": (_cmd_report, "Assemble benchmarks/results into REPORT.md"),

@@ -57,6 +57,19 @@ def dotted_name(node: ast.expr) -> str | None:
     return None
 
 
+def type_checking_guarded(tree: ast.AST) -> set[ast.AST]:
+    """All nodes inside ``if TYPE_CHECKING:`` blocks — they never execute,
+    so typing-only imports of e.g. ``random`` are not runtime randomness."""
+    guarded: set[ast.AST] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.If):
+            test_name = dotted_name(node.test)
+            if test_name in ("TYPE_CHECKING", "typing.TYPE_CHECKING"):
+                for child in node.body:
+                    guarded.update(ast.walk(child))
+    return guarded
+
+
 class LintRule:
     """Base class: one determinism rule, stateless, checked per file."""
 
@@ -170,7 +183,10 @@ class NoGlobalRandom(LintRule):
     )
 
     def check(self, tree: ast.AST, path: str) -> Iterator[Finding]:
+        guarded = type_checking_guarded(tree)
         for node in ast.walk(tree):
+            if node in guarded:
+                continue
             if isinstance(node, ast.Import):
                 for alias in node.names:
                     if alias.name == "random":

@@ -450,6 +450,12 @@ class _Resolution:
             self.resolver.timeout * 3, lambda: (conn.abort(), self.finish("timeout"))
         )
 
+        # a tight retransmission budget (3 tries ≈ 1.75 s of backoff) makes
+        # a dead or blackholed TCP server abort the connection well before
+        # the wall-clock fallback timer, so on_close fails this resolution
+        # fast instead of stalling the full timeout
+        tcp_retries = 3
+
         def on_established(c: TcpConnection) -> None:
             c.send(frame(query))
             self.queries_sent += 1
@@ -471,7 +477,12 @@ class _Resolution:
                 self.finish("servfail")
 
         conn = node.tcp.connect(
-            server, 53, on_established=on_established, on_data=on_data, on_close=on_close
+            server,
+            53,
+            on_established=on_established,
+            on_data=on_data,
+            on_close=on_close,
+            max_retransmits=tcp_retries,
         )
 
     # -- helpers -----------------------------------------------------------------

@@ -2,6 +2,12 @@
 
 It knows one trick: send a recursion-desired query to the configured LRS and
 wait.  Applications in the examples use this to drive the full stack.
+
+Real stub resolvers are not one-shot: ``options timeouts:n attempts:m`` in
+resolv.conf retries a silent server.  This one does the same — each attempt
+re-sends the query and waits ``timeout * backoff**attempt`` seconds, so a
+query lost to a link blackout or an overloaded LRS is recovered instead of
+surfacing straight to the application as a failure.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ class StubResult:
     status: str  # "ok" | "nxdomain" | "servfail" | "timeout"
     records: list[ResourceRecord]
     latency: float
+    retries: int = 0
 
     @property
     def ok(self) -> bool:
@@ -31,13 +38,36 @@ class StubResult:
 
 
 class StubResolver:
-    """Sends recursive queries to a configured LRS."""
+    """Sends recursive queries to a configured LRS.
 
-    def __init__(self, node: Node, lrs_address: IPv4Address, *, timeout: float = 5.0):
+    ``retries`` is the number of *additional* attempts after the first;
+    attempt ``i`` waits ``timeout * backoff**i`` before giving up, so the
+    defaults (1.0 s, 2 retries, 2× backoff) surface a hard failure after
+    1 + 2 + 4 = 7 seconds — glibc-shaped behaviour, and the reason a brief
+    upstream blackout costs latency rather than an error.
+    """
+
+    def __init__(
+        self,
+        node: Node,
+        lrs_address: IPv4Address,
+        *,
+        timeout: float = 1.0,
+        retries: int = 2,
+        backoff: float = 2.0,
+    ):
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if timeout <= 0 or backoff < 1.0:
+            raise ValueError("timeout must be positive and backoff >= 1")
         self.node = node
         self.lrs_address = lrs_address
         self.timeout = timeout
-        self._next_id = node.sim.rng.randrange(0, 0xFFFF)
+        self.retries = retries
+        self.backoff = backoff
+        self.queries_sent = 0
+        self.retries_sent = 0
+        self._next_id = node.sim.rng.randrange(0x10000)
 
     def query(
         self,
@@ -50,6 +80,8 @@ class StubResolver:
         msg_id = self._next_id
         message = make_query(qname, qtype, msg_id=msg_id, recursion_desired=True)
         started = self.node.sim.now
+        attempt = 0
+        timer = None
         finished = False
 
         def finish(result: StubResult) -> None:
@@ -57,7 +89,8 @@ class StubResolver:
             if finished:
                 return
             finished = True
-            timer.cancel()
+            if timer is not None:
+                timer.cancel()
             socket.close()
             callback(result)
 
@@ -68,15 +101,29 @@ class StubResolver:
                 return
             latency = self.node.sim.now - started
             if payload.header.rcode == Rcode.NXDOMAIN:
-                finish(StubResult("nxdomain", [], latency))
+                finish(StubResult("nxdomain", [], latency, attempt))
             elif payload.header.rcode != Rcode.NOERROR:
-                finish(StubResult("servfail", [], latency))
+                finish(StubResult("servfail", [], latency, attempt))
             else:
-                finish(StubResult("ok", list(payload.answers), latency))
+                finish(StubResult("ok", list(payload.answers), latency, attempt))
+
+        def send_attempt() -> None:
+            nonlocal timer
+            socket.send(message, self.lrs_address, 53)
+            self.queries_sent += 1
+            if attempt:
+                self.retries_sent += 1
+            timer = self.node.sim.schedule(
+                self.timeout * self.backoff**attempt, on_timeout
+            )
+
+        def on_timeout() -> None:
+            nonlocal attempt
+            if attempt >= self.retries:
+                finish(StubResult("timeout", [], self.node.sim.now - started, attempt))
+                return
+            attempt += 1
+            send_attempt()
 
         socket = self.node.udp.bind_ephemeral(on_response)
-        timer = self.node.sim.schedule(
-            self.timeout,
-            lambda: finish(StubResult("timeout", [], self.node.sim.now - started)),
-        )
-        socket.send(message, self.lrs_address, 53)
+        send_attempt()

@@ -1,0 +1,48 @@
+"""Deterministic fault injection for the DNS-guard testbed.
+
+The paper's claim is not just that spoofed floods are dropped but that
+*legitimate* clients stay served while it happens.  Real deployments see
+that claim tested by bursty loss, flapping links, crashing middleboxes and
+server failover — so this package scripts those conditions against the
+simulator, seeded and replayable: a :class:`FaultPlan` of timed
+:class:`FaultAction` s, with all fault randomness drawn from the
+``"faults"`` child stream of the simulator RNG so enabling a fault never
+perturbs the core event sequence.
+
+See ``python -m repro faults`` for the scenario suite that runs each fault
+against all three guard schemes.
+"""
+
+from ..netsim import GilbertElliottLoss
+from .plan import (
+    BurstyLoss,
+    Callback,
+    Corrupt,
+    Duplicate,
+    FAULT_STREAM,
+    FaultAction,
+    FaultContext,
+    FaultPlan,
+    GuardCrash,
+    LinkDown,
+    LinkFlap,
+    Reorder,
+    RouteFailover,
+)
+
+__all__ = [
+    "BurstyLoss",
+    "Callback",
+    "Corrupt",
+    "Duplicate",
+    "FAULT_STREAM",
+    "FaultAction",
+    "FaultContext",
+    "FaultPlan",
+    "GilbertElliottLoss",
+    "GuardCrash",
+    "LinkDown",
+    "LinkFlap",
+    "Reorder",
+    "RouteFailover",
+]

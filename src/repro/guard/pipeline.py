@@ -127,7 +127,12 @@ class RemoteDnsGuard:
         self.estimator = RateEstimator()
         self._pending: dict[tuple[IPv4Address, int, int], _Pending] = {}
         self._answer_cache: dict[tuple[Name, int], _CachedAnswer] = {}
+        #: True while the guard process is crashed: the box is dead inline
+        #: hardware, so *nothing* crosses it (unlike ``enabled=False``,
+        #: which degrades it to a plain router).
+        self.down = False
         # counters
+        self.crashes = 0
         self.queries_seen = 0
         self.cookies_granted = 0
         self.referrals_fabricated = 0
@@ -176,9 +181,63 @@ class RemoteDnsGuard:
         y = self.cookies.ip_cookie(source, r_y)
         return IPv4Address(int(self.cookie_subnet.network_address) + 1 + y)
 
+    # -- crash / restart --------------------------------------------------------------
+
+    def crash(self) -> bytes:
+        """Kill the guard process mid-flight, losing all soft state.
+
+        Pending exchanges, the fabricated-namespace answer cache, limiter
+        fill levels, rate estimates and every proxied TCP connection vanish
+        — exactly what a real crash loses.  The cookie key material is the
+        one thing a deployment persists (it must survive restarts or every
+        outstanding cookie in the field dies with the process); the
+        returned blob is that persisted state, to be handed back to
+        :meth:`restart`.  Until then the node is dead inline hardware:
+        every transit packet is dropped.
+        """
+        state = self.cookies.export_state()
+        self.crashes += 1
+        self.down = True
+        self._pending.clear()
+        self._answer_cache.clear()
+        self.rl1.reset()
+        self.rl2.reset()
+        self.estimator = RateEstimator(self.estimator.window)
+        if self._sweeper is not None:
+            self._sweeper.cancel()
+            self._sweeper = None
+        if self.tcp_proxy is not None:
+            # in-flight proxied connections die silently — a crashed box
+            # sends no RSTs; clients discover via their own retransmit
+            # budgets.  (SYN-cookie state is stateless by construction.)
+            self.node.tcp.reset_all(send_rst=False)
+        return state
+
+    def restart(self, state: bytes | None = None, *, rotate_key: bool = False) -> None:
+        """Bring a crashed guard back, optionally rotating the cookie key.
+
+        ``state`` is the blob :meth:`crash` returned (None keeps the live
+        factory, for tests that never crashed).  With ``rotate_key=True``
+        a fresh key is installed *on top of* the persisted generations, so
+        cookies issued before the crash verify under the previous key via
+        the generation bit — legitimate clients must see zero false
+        rejects across a restart-plus-rotation.
+        """
+        if state is not None:
+            self.cookies = CookieFactory.import_state(
+                state, label_hex_digits=self.cookies.label_hex_digits
+            )
+        if rotate_key:
+            self.cookies.rotate(random_key(self.node.sim.rng))
+        self.down = False
+        if self._sweeper is None:
+            self._sweeper = self.node.sim.schedule(1.0, self._sweep)
+
     # -- transit hook ---------------------------------------------------------------
 
     def _transit(self, packet: Packet, link: Link) -> str:
+        if self.down:
+            return "drop"
         segment = packet.segment
         if isinstance(segment, UdpDatagram):
             return self._transit_udp(packet, segment)
@@ -557,6 +616,7 @@ class RemoteDnsGuard:
     def stats(self) -> dict[str, int | float]:
         """A point-in-time snapshot of the guard's operational counters."""
         snapshot: dict[str, int | float] = {
+            "crashes": self.crashes,
             "queries_seen": self.queries_seen,
             "cookies_granted": self.cookies_granted,
             "referrals_fabricated": self.referrals_fabricated,

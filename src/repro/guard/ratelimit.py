@@ -135,6 +135,12 @@ class UnverifiedResponseLimiter:
         self.denied += 1
         return False
 
+    def reset(self) -> None:
+        """Drop all soft state (bucket fill, heavy-hitter counts) — what a
+        guard crash loses; configuration survives."""
+        self._buckets.clear()
+        self.tracker = TopRequesterTracker(self.tracker.capacity)
+
 
 class VerifiedRequestLimiter:
     """Rate-Limiter2: per-verified-host request rate limit.
@@ -172,6 +178,10 @@ class VerifiedRequestLimiter:
             return True
         self.denied += 1
         return False
+
+    def reset(self) -> None:
+        """Drop all soft state (bucket fill) — configuration survives."""
+        self._buckets.clear()
 
 
 class RateEstimator:

@@ -9,7 +9,7 @@ from .errors import (
     RoutingError,
     SocketError,
 )
-from .link import Link
+from .link import GilbertElliottLoss, Link, LossModel
 from .netfilter import Chain, Hook, PacketFilter, Rule, Verdict
 from .node import Node
 from .packet import (
@@ -29,6 +29,8 @@ from .tcp import (
     DEFAULT_RTO,
     Listener,
     MAX_RETRANSMITS,
+    MAX_RTO,
+    TIME_WAIT_LINGER,
     MSS,
     TcpConnection,
     TcpStack,
@@ -49,10 +51,14 @@ __all__ = [
     "DnsPayload",
     "EventHandle",
     "EventTrace",
+    "GilbertElliottLoss",
     "IP_HEADER_BYTES",
     "Link",
     "Listener",
+    "LossModel",
     "MAX_RETRANSMITS",
+    "MAX_RTO",
+    "TIME_WAIT_LINGER",
     "MSS",
     "NetsimError",
     "Node",

@@ -89,6 +89,13 @@ class Node:
         # longest prefix first
         self.routes.sort(key=lambda item: item[0].prefixlen, reverse=True)
 
+    def replace_route(self, subnet: IPv4Network | str, link: Link) -> None:
+        """Repoint the route for exactly ``subnet`` at ``link`` (failover)."""
+        if isinstance(subnet, str):
+            subnet = IPv4Network(subnet)
+        self.routes = [(s, l) for s, l in self.routes if s != subnet]
+        self.add_route(subnet, link)
+
     def set_default_route(self, link: Link) -> None:
         self.default_route = link
 

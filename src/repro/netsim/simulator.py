@@ -213,7 +213,9 @@ class Simulator:
 
     def __init__(self, seed: int = 0, *, trace_hash: bool = False):
         self.now: float = 0.0
+        self.seed = seed
         self.rng = random.Random(seed)
+        self._child_rngs: dict[str, random.Random] = {}
         self._queue: list[tuple[float, int, EventHandle, Callable[..., Any], tuple]] = []
         self._sequence = itertools.count()
         self._events_processed = 0
@@ -228,6 +230,27 @@ class Simulator:
             self.trace = EventTrace()
         else:
             self.trace = None
+
+    # -- randomness --------------------------------------------------------
+
+    def child_rng(self, name: str) -> random.Random:
+        """A named RNG stream derived deterministically from the seed.
+
+        Orthogonal subsystems (fault injection, background noise, …) must
+        not draw from ``self.rng`` directly: an extra draw would shift every
+        subsequent value the core simulation sees, so merely *enabling* such
+        a subsystem would perturb the whole event trace.  A child stream is
+        seeded from ``(seed, name)`` only — same seed and name, same stream,
+        regardless of what any other stream has consumed.  Repeated calls
+        with the same name return the same (stateful) instance.
+        """
+        rng = self._child_rngs.get(name)
+        if rng is None:
+            material = f"{self.seed}\x00{name}".encode("utf-8", "backslashreplace")
+            derived = hashlib.blake2b(material, digest_size=8).digest()
+            rng = random.Random(int.from_bytes(derived, "big"))
+            self._child_rngs[name] = rng
+        return rng
 
     # -- scheduling --------------------------------------------------------
 

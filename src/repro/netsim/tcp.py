@@ -33,12 +33,23 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Maximum segment size for data segments (Ethernet-ish).
 MSS = 1460
 
-#: Retransmission timeout (seconds) and maximum retransmissions.
+#: Retransmission timeout (seconds), its exponential-backoff ceiling, and
+#: the default retransmission budget.  Once ``max_retransmits`` consecutive
+#: timeouts fire with no forward progress the connection aborts — a dead or
+#: blackholed peer costs bounded time and zero permanent state, which is
+#: what lets the resolver's TCP fallback fail fast instead of hanging.
 DEFAULT_RTO = 0.25
+MAX_RTO = 4.0
 MAX_RETRANSMITS = 6
 
 #: How many unacknowledged segments a sender may have in flight.
 SEND_WINDOW_SEGMENTS = 32
+
+#: How long a cleanly-closed connection's 4-tuple is remembered (TIME_WAIT
+#: stand-in).  Old duplicates — reordered ACKs, duplicated FINs — arriving
+#: after teardown are swallowed instead of falling through to a listener,
+#: where a SYN-cookie validator would miscount them as forged ACKs.
+TIME_WAIT_LINGER = 1.0
 
 ConnKey = tuple[IPv4Address, int, IPv4Address, int]
 
@@ -105,6 +116,11 @@ class TcpConnection:
         self.established_at: float | None = None
         self.rtt: float | None = None
         self.rto = DEFAULT_RTO
+        #: retransmission budget; inherited from the stack so applications
+        #: (e.g. the resolver's TCP fallback) can tighten it per connection
+        self.max_retransmits = stack.max_retransmits
+        #: True when the connection died from retransmission exhaustion
+        self.aborted_by_retries = False
         self._send_buffer = bytearray()
         self._inflight: list[tuple[int, bytes, TcpFlags]] = []
         self._retransmit_handle = None
@@ -323,10 +339,12 @@ class TcpConnection:
     def _on_retransmit(self) -> None:
         self._retransmit_handle = None
         self._retransmits += 1
-        if self._retransmits > MAX_RETRANSMITS:
+        if self._retransmits > self.max_retransmits:
+            self.aborted_by_retries = True
+            self.stack.retry_exhaustions += 1
             self.abort()
             return
-        self.rto = min(self.rto * 2, 4.0)
+        self.rto = min(self.rto * 2, MAX_RTO)
         if self.state is TcpState.SYN_SENT:
             self._emit(TcpFlags.SYN, seq=self.iss)
         elif self.state is TcpState.SYN_RCVD:
@@ -344,7 +362,7 @@ class TcpConnection:
         self._cancel_retransmit()
         self._send_buffer.clear()
         self._inflight.clear()
-        self.stack._forget(self)
+        self.stack._forget(self, linger=not error and self.established_at is not None)
         if not already_closed and self.on_close:
             self.on_close(self, error)
 
@@ -377,6 +395,8 @@ class TcpStack:
         self._isn_counter = 1000
         self._cookie_secret = node.sim.rng.getrandbits(64).to_bytes(8, "big")
         self._next_ephemeral = 32768
+        #: Default retransmission budget for connections on this stack.
+        self.max_retransmits = MAX_RETRANSMITS
         #: Optional hook: CPU-seconds charged per segment processed or sent.
         #: Receives this stack, so the cost can scale with table size.
         self.segment_cost_fn: Callable[["TcpStack"], float] | None = None
@@ -384,6 +404,9 @@ class TcpStack:
         self.segments_dropped_cpu = 0
         self.segments_unroutable = 0
         self.cookie_failures = 0
+        self.retry_exhaustions = 0
+        self.stale_segments = 0
+        self._time_wait: dict[ConnKey, float] = {}
 
     # -- public API ---------------------------------------------------------------
 
@@ -411,6 +434,7 @@ class TcpStack:
         on_established: Callable[[TcpConnection], None] | None = None,
         on_data: Callable[[TcpConnection, bytes], None] | None = None,
         on_close: Callable[[TcpConnection, bool], None] | None = None,
+        max_retransmits: int | None = None,
     ) -> TcpConnection:
         local_ip = src or self.node.address
         local_port = self._ephemeral_port()
@@ -418,9 +442,26 @@ class TcpStack:
         conn.on_established = on_established
         conn.on_data = on_data
         conn.on_close = on_close
+        if max_retransmits is not None:
+            conn.max_retransmits = max_retransmits
         self.connections[conn.key] = conn
         conn._start_active()
         return conn
+
+    def reset_all(self, *, send_rst: bool = False) -> None:
+        """Tear down every connection — a process crash losing all state.
+
+        With ``send_rst=False`` (a true crash) peers hear nothing and must
+        discover the loss through their own retransmission budgets; with
+        ``send_rst=True`` each peer gets a RST, as an orderly shutdown or a
+        rebooting kernel would produce.
+        """
+        for conn in list(self.connections.values()):
+            if send_rst:
+                conn.abort()
+            else:
+                conn._teardown(error=True)
+        self._time_wait.clear()
 
     # -- demux ---------------------------------------------------------------------
 
@@ -439,9 +480,20 @@ class TcpStack:
         if conn is not None:
             conn.handle(segment)
             return
+        linger_until = self._time_wait.get(key)
+        if linger_until is not None:
+            if segment.has(TcpFlags.SYN) and not segment.has(TcpFlags.ACK):
+                del self._time_wait[key]  # a fresh connect reusing the pair
+            elif self.node.sim.now < linger_until:
+                self.stale_segments += 1  # old duplicate; TIME_WAIT eats it
+                return
+            else:
+                del self._time_wait[key]
         listener = self._listener_for(packet.dst, segment.dport)
         if listener is None:
             return  # silently ignore, as a stealthy host would
+        if segment.has(TcpFlags.RST):
+            return  # RST for a connection we no longer know about
         if segment.has(TcpFlags.SYN) and not segment.has(TcpFlags.ACK):
             listener.syns_received += 1
             if listener.syn_cookies:
@@ -469,6 +521,11 @@ class TcpStack:
                 listener.on_connection(conn)
                 if segment.data or segment.has(TcpFlags.FIN):
                     conn.handle(segment)
+            elif segment.data or segment.has(TcpFlags.FIN):
+                # Handshake completions acknowledge the cookie ISN exactly;
+                # a data/FIN segment pointing elsewhere is an old duplicate
+                # from a closed connection, not a forged cookie.
+                self.stale_segments += 1
             else:
                 listener.cookies_rejected += 1
                 self.cookie_failures += 1
@@ -515,8 +572,15 @@ class TcpStack:
         digest = hashlib.md5(material).digest()
         return struct.unpack("!I", digest[:4])[0]
 
-    def _forget(self, conn: TcpConnection) -> None:
+    def _forget(self, conn: TcpConnection, *, linger: bool = False) -> None:
         self.connections.pop(conn.key, None)
+        if linger:
+            if len(self._time_wait) >= 8192:  # lazily purge expired entries
+                now = self.node.sim.now
+                self._time_wait = {
+                    key: until for key, until in self._time_wait.items() if until > now
+                }
+            self._time_wait[conn.key] = self.node.sim.now + TIME_WAIT_LINGER
 
     @property
     def open_connections(self) -> int:

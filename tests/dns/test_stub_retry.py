@@ -1,0 +1,118 @@
+"""Stub-resolver retry/backoff behaviour against a silent or flaky server."""
+
+from ipaddress import IPv4Address
+
+import pytest
+
+from repro.dns import StubResolver
+from repro.dnswire import RRType, make_response
+from repro.netsim import Link, Node, Simulator
+
+LRS_ADDR = IPv4Address("10.0.0.53")
+
+
+def topology(seed=0):
+    sim = Simulator(seed=seed)
+    stub_node = Node(sim, "stub")
+    stub_node.add_address("10.0.0.1")
+    lrs_node = Node(sim, "lrs")
+    lrs_node.add_address(LRS_ADDR)
+    link = Link(sim, stub_node, lrs_node, delay=0.001)
+    return sim, stub_node, lrs_node, link
+
+
+def echo_lrs(lrs_node):
+    """A one-answer LRS: responds to every query it actually receives."""
+    queries = []
+
+    def on_query(payload, src, sport, dst):
+        queries.append(payload)
+        response = make_response(payload)
+        lrs_node.udp.bind_ephemeral(lambda *a: None)
+        sock.send(response, src, sport)
+
+    sock = lrs_node.udp.bind(53, on_query)
+    return queries
+
+
+class TestRetry:
+    def test_lost_first_attempt_recovered_by_retry(self):
+        sim, stub_node, lrs_node, link = topology()
+        queries = echo_lrs(lrs_node)
+        # blackout swallows the first attempt; service restored before retry
+        link.up = False
+        sim.schedule_at(0.05, lambda: setattr(link, "up", True))
+        stub = StubResolver(stub_node, LRS_ADDR, timeout=0.1, retries=2)
+        results = []
+        stub.query("www.foo.com", RRType.A, results.append)
+        sim.run(until=5.0)
+        assert len(results) == 1
+        assert results[0].ok
+        assert results[0].retries == 1
+        assert stub.retries_sent == 1
+        assert stub.queries_sent == 2
+        assert len(queries) == 1
+
+    def test_all_attempts_exhausted_is_timeout(self):
+        sim, stub_node, lrs_node, link = topology()
+        link.up = False  # the LRS is unreachable for good
+        stub = StubResolver(stub_node, LRS_ADDR, timeout=0.1, retries=2, backoff=2.0)
+        results = []
+        stub.query("www.foo.com", RRType.A, results.append)
+        sim.run(until=60.0)
+        assert len(results) == 1
+        assert results[0].status == "timeout"
+        assert results[0].retries == 2
+        # geometric backoff: 0.1 + 0.2 + 0.4 seconds of waiting
+        assert results[0].latency == pytest.approx(0.7)
+
+    def test_zero_retries_is_one_shot(self):
+        sim, stub_node, lrs_node, link = topology()
+        link.up = False
+        stub = StubResolver(stub_node, LRS_ADDR, timeout=0.1, retries=0)
+        results = []
+        stub.query("www.foo.com", RRType.A, results.append)
+        sim.run(until=5.0)
+        assert results[0].status == "timeout"
+        assert stub.queries_sent == 1
+
+    def test_duplicate_responses_reported_once(self):
+        """A retry racing the original response must not double-fire."""
+        sim, stub_node, lrs_node, link = topology()
+
+        def slow_lrs(payload, src, sport, dst):
+            # answer every copy, slower than the retry timer
+            sim.schedule(0.15, sock.send, make_response(payload), src, sport)
+
+        sock = lrs_node.udp.bind(53, slow_lrs)
+        stub = StubResolver(stub_node, LRS_ADDR, timeout=0.1, retries=2)
+        results = []
+        stub.query("www.foo.com", RRType.A, results.append)
+        sim.run(until=5.0)
+        assert len(results) == 1
+
+    def test_validation(self):
+        sim, stub_node, lrs_node, link = topology()
+        with pytest.raises(ValueError):
+            StubResolver(stub_node, LRS_ADDR, retries=-1)
+        with pytest.raises(ValueError):
+            StubResolver(stub_node, LRS_ADDR, timeout=0.0)
+        with pytest.raises(ValueError):
+            StubResolver(stub_node, LRS_ADDR, backoff=0.5)
+
+
+class TestMessageIds:
+    def test_ids_span_the_full_16_bit_space(self):
+        """Regression: randrange(0, 0xFFFF) could never produce 0xFFFF."""
+        sim, stub_node, lrs_node, link = topology()
+        stub = StubResolver(stub_node, LRS_ADDR)
+        stub._next_id = 0xFFFE
+        stub.query("a.foo.com")
+        stub.query("b.foo.com")
+        stub.query("c.foo.com")
+        assert stub._next_id == 0x0001  # wrapped through 0xFFFF and 0x0000
+
+    def test_initial_id_is_seed_deterministic(self):
+        first = StubResolver(topology(seed=3)[1], LRS_ADDR)._next_id
+        second = StubResolver(topology(seed=3)[1], LRS_ADDR)._next_id
+        assert first == second

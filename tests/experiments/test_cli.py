@@ -29,3 +29,8 @@ class TestCli:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_faults_registered(self):
+        from repro.__main__ import _COMMANDS
+
+        assert "faults" in _COMMANDS

@@ -1,0 +1,72 @@
+"""Smoke tests for the fault-injection experiment (python -m repro faults)."""
+
+import pytest
+
+from repro.experiments.faults import (
+    FaultCell,
+    SCENARIOS,
+    SCHEMES,
+    _build,
+    _plan_for,
+    _run_cell,
+    format_faults,
+)
+
+
+class TestScenarioMatrix:
+    def test_scenario_and_scheme_lists(self):
+        assert len(SCENARIOS) >= 6  # baseline + >=5 fault scenarios
+        assert "baseline" in SCENARIOS
+        assert set(SCHEMES) == {"modified", "ns_name", "tcp"}
+
+    def test_every_scenario_builds_a_plan(self):
+        env = _build("ns_name", seed=0)
+        for scenario in SCENARIOS:
+            plan = _plan_for(scenario, env, 0.1, 1.0)
+            if scenario == "baseline":
+                assert len(plan) == 0
+            else:
+                assert len(plan) >= 1
+
+    def test_unknown_scheme_and_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            _build("nonsense", seed=0)
+        env = _build("ns_name", seed=0)
+        with pytest.raises(ValueError):
+            _plan_for("nonsense", env, 0.1, 1.0)
+
+
+class TestSingleCells:
+    def test_baseline_cell_full_availability(self):
+        cell = _run_cell("ns_name", "baseline", seed=1, warmup=0.05, window=0.1)
+        assert cell.availability == 1.0
+        assert cell.false_rejects == 0
+        assert cell.mean_latency_ms > 0
+
+    def test_guard_restart_cell_no_false_rejects(self):
+        cell = _run_cell("ns_name", "guard-restart", seed=1, warmup=0.05, window=0.2)
+        assert cell.false_rejects == 0
+        assert cell.availability > 0.9
+
+    def test_blackout_cell_dips_availability(self):
+        cell = _run_cell("modified", "uplink-blackout", seed=1, warmup=0.05, window=0.2)
+        assert cell.timeouts > 0
+        assert cell.availability < 1.0
+        assert cell.false_rejects == 0
+
+    def test_ans_failover_cell_recovers(self):
+        cell = _run_cell("ns_name", "ans-failover", seed=1, warmup=0.05, window=0.2)
+        assert cell.availability > 0.8
+        assert cell.false_rejects == 0
+
+
+class TestFormatting:
+    def test_format_reports_worst_case_and_rejects(self):
+        cells = [
+            FaultCell("baseline", "ns_name", 100, 100, 0, 1.0, 0.4, 0.0, 0),
+            FaultCell("uplink-blackout", "ns_name", 100, 90, 10, 0.9, 0.5, 0.1, 0),
+        ]
+        out = format_faults(cells)
+        assert "worst availability: 90.00% (uplink-blackout / ns_name)" in out
+        assert "total false rejects: 0" in out
+        assert "scenario" in out

@@ -1,0 +1,110 @@
+"""Guard crash-and-restart: state loss, downtime, and key-rotation survival."""
+
+from repro.dns import LrsSimulator
+from repro.experiments.testbed import ANS_ADDRESS, GuardTestbed
+from repro.faults import FaultPlan, GuardCrash
+
+
+def referral_bed(seed=0):
+    bed = GuardTestbed(seed=seed, ans="simulator", ans_mode="referral")
+    client = bed.add_client("lrs")
+    lrs = LrsSimulator(client, ANS_ADDRESS, workload="referral", timeout=0.02)
+    return bed, lrs
+
+
+class TestCrashSemantics:
+    def test_crash_wipes_soft_state_and_drops_transit(self):
+        bed, lrs = referral_bed()
+        lrs.start()
+        bed.run(0.1)
+        assert lrs.stats.completed > 0
+        bed.guard.crash()
+        assert bed.guard.down
+        assert bed.guard.pending_exchanges == 0
+        completed_at_crash = lrs.stats.completed
+        served_at_crash = bed.ans.requests_served
+        bed.run(0.1)
+        # dead inline hardware: nothing reaches the ANS
+        assert bed.ans.requests_served == served_at_crash
+        assert lrs.stats.completed == completed_at_crash
+        lrs.stop()
+
+    def test_restart_resumes_service(self):
+        bed, lrs = referral_bed()
+        lrs.start()
+        bed.run(0.1)
+        state = bed.guard.crash()
+        bed.run(0.05)
+        bed.guard.restart(state)
+        completed_before = lrs.stats.completed
+        bed.run(0.2)
+        lrs.stop()
+        assert not bed.guard.down
+        assert lrs.stats.completed > completed_before
+        assert bed.guard.stats()["crashes"] == 1
+
+    def test_restart_restarts_pending_sweeper(self):
+        bed, lrs = referral_bed()
+        state = bed.guard.crash()
+        bed.guard.restart(state)
+        assert bed.guard._sweeper is not None
+
+
+class TestKeyRotationAcrossRestart:
+    def test_cached_cookie_survives_restart_with_rotation(self):
+        """The acceptance bar: zero false rejects across crash + key rotation."""
+        bed, lrs = referral_bed(seed=2)
+        lrs.start()
+        bed.run(0.1)
+        # the LRS now holds a cached cookie NS target issued pre-crash
+        assert lrs._cookie_ns_target is not None
+        cookie_before = lrs._cookie_ns_target
+        state = bed.guard.crash()
+        bed.guard.restart(state, rotate_key=True)
+        completed_before = lrs.stats.completed
+        bed.run(0.3)
+        lrs.stop()
+        # the pre-crash cookie kept verifying under the previous key
+        assert lrs._cookie_ns_target == cookie_before
+        assert lrs.stats.completed > completed_before
+        assert bed.guard.invalid_drops == 0
+
+    def test_restart_without_state_keeps_live_factory(self):
+        bed, lrs = referral_bed()
+        factory = bed.guard.cookies
+        bed.guard.crash()
+        bed.guard.restart()
+        assert bed.guard.cookies is factory
+
+    def test_scheduled_guard_crash_action(self):
+        """GuardCrash as a FaultPlan action: down during the window, zero
+        false rejects after a restart that rotates the key."""
+        bed, lrs = referral_bed(seed=5)
+        plan = FaultPlan()
+        plan.add(0.1, GuardCrash(bed.guard, downtime=0.05, rotate_key=True))
+        plan.schedule(bed.sim)
+        lrs.start()
+        bed.run(0.12)
+        assert bed.guard.down
+        bed.run(0.5)
+        lrs.stop()
+        assert not bed.guard.down
+        assert bed.guard.crashes == 1
+        assert bed.guard.invalid_drops == 0
+        assert lrs.stats.completed > 0
+
+
+class TestModifiedSchemeRestart:
+    def test_local_guard_cookie_survives_rotation(self):
+        bed = GuardTestbed(seed=3, ans="simulator", ans_mode="answer")
+        client = bed.add_client("lrs", via_local_guard=True)
+        lrs = LrsSimulator(client, ANS_ADDRESS, workload="plain", timeout=0.02)
+        lrs.start()
+        bed.run(0.1)
+        state = bed.guard.crash()
+        bed.guard.restart(state, rotate_key=True)
+        completed_before = lrs.stats.completed
+        bed.run(0.3)
+        lrs.stop()
+        assert lrs.stats.completed > completed_before
+        assert bed.guard.invalid_drops == 0

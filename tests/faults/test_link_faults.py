@@ -1,0 +1,117 @@
+"""Link-level fault knobs: duplication, corruption, reordering, isolation."""
+
+from ipaddress import IPv4Address
+
+from repro.faults import Corrupt, Duplicate, FaultPlan, Reorder
+from repro.netsim import Link, Node, Simulator
+
+B_ADDR = IPv4Address("10.0.0.2")
+
+
+def topology(seed=0):
+    sim = Simulator(seed=seed)
+    a = Node(sim, "a")
+    a.add_address("10.0.0.1")
+    b = Node(sim, "b")
+    b.add_address(B_ADDR)
+    link = Link(sim, a, b, delay=0.001)
+    return sim, a, b, link
+
+
+class TestDuplicate:
+    def test_every_packet_delivered_twice(self):
+        sim, a, b, link = topology()
+        got = []
+        b.udp.bind(9, lambda p, *rest: got.append(p))
+        plan = FaultPlan()
+        plan.add(0.0, Duplicate(link, 1.0))
+        plan.schedule(sim)
+        sock = a.udp.bind_ephemeral(lambda *args: None)
+        for i in range(5):
+            sim.schedule_at(0.01 * (i + 1), sock.send, b"x%d" % i, B_ADDR, 9)
+        sim.run(until=1.0)
+        assert len(got) == 10
+        assert link.fault_stats(a)["duplicated"] == 5
+
+    def test_duration_reverts(self):
+        sim, a, b, link = topology()
+        got = []
+        b.udp.bind(9, lambda p, *rest: got.append(p))
+        plan = FaultPlan()
+        plan.add(0.0, Duplicate(link, 1.0, duration=0.05))
+        plan.schedule(sim)
+        sock = a.udp.bind_ephemeral(lambda *args: None)
+        sim.schedule_at(0.01, sock.send, b"doubled", B_ADDR, 9)
+        sim.schedule_at(0.1, sock.send, b"single", B_ADDR, 9)
+        sim.run(until=1.0)
+        assert got.count(b"doubled") == 2
+        assert got.count(b"single") == 1
+
+
+class TestCorrupt:
+    def test_corrupted_packets_never_arrive(self):
+        sim, a, b, link = topology()
+        got = []
+        b.udp.bind(9, lambda p, *rest: got.append(p))
+        plan = FaultPlan()
+        plan.add(0.0, Corrupt(link, 1.0))
+        plan.schedule(sim)
+        sock = a.udp.bind_ephemeral(lambda *args: None)
+        for i in range(3):
+            sim.schedule_at(0.01 * (i + 1), sock.send, b"junked", B_ADDR, 9)
+        sim.run(until=1.0)
+        assert got == []
+        assert link.fault_stats(a)["corrupted"] == 3
+
+
+class TestReorder:
+    def test_held_packet_overtaken(self):
+        sim, a, b, link = topology()
+        got = []
+        b.udp.bind(9, lambda p, *rest: got.append(p))
+        plan = FaultPlan()
+        # reorder everything for the first 15 ms, then nothing
+        plan.add(0.0, Reorder(link, 1.0, extra_delay=0.02, duration=0.015))
+        plan.schedule(sim)
+        sock = a.udp.bind_ephemeral(lambda *args: None)
+        sim.schedule_at(0.01, sock.send, b"first", B_ADDR, 9)
+        sim.schedule_at(0.02, sock.send, b"second", B_ADDR, 9)
+        sim.run(until=1.0)
+        assert got == [b"second", b"first"]
+        assert link.fault_stats(a)["reordered"] == 1
+
+
+class TestDeterminismIsolation:
+    def test_fault_rng_leaves_core_stream_untouched(self):
+        """Enabling faults must not shift the core RNG's draw sequence."""
+
+        def core_draws(with_faults: bool):
+            sim, a, b, link = topology(seed=42)
+            b.udp.bind(9, lambda *args: None)
+            if with_faults:
+                plan = FaultPlan()
+                plan.add(0.0, Duplicate(link, 0.5))
+                plan.add(0.0, Corrupt(link, 0.3))
+                plan.schedule(sim)
+            sock = a.udp.bind_ephemeral(lambda *args: None)
+            for i in range(20):
+                sim.schedule_at(0.01 * (i + 1), sock.send, b"p", B_ADDR, 9)
+            sim.run(until=1.0)
+            return [sim.rng.random() for _ in range(5)]
+
+        assert core_draws(False) == core_draws(True)
+
+    def test_clear_faults_restores_pristine_link(self):
+        sim, a, b, link = topology()
+        link.duplicate_prob = 0.5
+        link.corrupt_prob = 0.5
+        link.reorder_prob = 0.5
+        link.reorder_delay = 0.1
+        link.loss_model = object()
+        link.clear_faults()
+        assert link.loss_model is None
+        assert link.duplicate_prob == 0.0
+        assert link.corrupt_prob == 0.0
+        assert link.reorder_prob == 0.0
+        assert link.reorder_delay == 0.0
+        assert link.up

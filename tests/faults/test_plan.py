@@ -1,0 +1,166 @@
+"""Unit tests for FaultPlan scheduling and the individual fault actions."""
+
+from ipaddress import IPv4Address
+
+import pytest
+
+from repro.faults import (
+    BurstyLoss,
+    Callback,
+    FAULT_STREAM,
+    FaultPlan,
+    GilbertElliottLoss,
+    LinkDown,
+    LinkFlap,
+)
+from repro.netsim import Link, Node, Simulator
+
+
+def topology(seed=0, **link_kwargs):
+    sim = Simulator(seed=seed)
+    a = Node(sim, "a")
+    a.add_address("10.0.0.1")
+    b = Node(sim, "b")
+    b.add_address("10.0.0.2")
+    link = Link(sim, a, b, delay=0.001, **link_kwargs)
+    return sim, a, b, link
+
+
+class TestChildRng:
+    def test_same_name_returns_same_stream(self):
+        sim = Simulator(seed=1)
+        assert sim.child_rng("x") is sim.child_rng("x")
+
+    def test_streams_reproducible_across_simulators(self):
+        draws1 = [Simulator(seed=5).child_rng(FAULT_STREAM).random() for _ in range(3)]
+        draws2 = [Simulator(seed=5).child_rng(FAULT_STREAM).random() for _ in range(3)]
+        assert draws1 == draws2
+
+    def test_streams_differ_by_seed_and_name(self):
+        sim = Simulator(seed=5)
+        other_seed = Simulator(seed=6)
+        assert sim.child_rng("x").random() != other_seed.child_rng("x").random()
+        sim2 = Simulator(seed=5)
+        assert sim2.child_rng("x").random() != sim2.child_rng("y").random()
+
+    def test_child_stream_does_not_touch_core_rng(self):
+        sim = Simulator(seed=7)
+        expected = Simulator(seed=7).rng.random()
+        sim.child_rng(FAULT_STREAM).random()
+        assert sim.rng.random() == expected
+
+
+class TestFaultPlan:
+    def test_negative_time_rejected(self):
+        sim, a, b, link = topology()
+        with pytest.raises(ValueError):
+            FaultPlan().add(-0.1, LinkDown(link))
+
+    def test_double_schedule_rejected(self):
+        sim, a, b, link = topology()
+        plan = FaultPlan()
+        plan.add(0.1, LinkDown(link))
+        plan.schedule(sim)
+        with pytest.raises(RuntimeError):
+            plan.schedule(sim)
+
+    def test_extend_composes_plans(self):
+        sim, a, b, link = topology()
+        plan = FaultPlan()
+        plan.add(0.1, LinkDown(link))
+        other = FaultPlan()
+        other.add(0.2, LinkDown(link))
+        assert len(plan.extend(other)) == 2
+
+    def test_callback_runs_at_time(self):
+        sim, a, b, link = topology()
+        fired = []
+        plan = FaultPlan()
+        plan.add(0.5, Callback(lambda ctx: fired.append(ctx.sim.now), label="mark"))
+        plan.schedule(sim)
+        sim.run(until=1.0)
+        assert fired == [0.5]
+
+
+class TestLinkDownAndFlap:
+    def test_blackout_reverts_after_duration(self):
+        sim, a, b, link = topology()
+        states = []
+        plan = FaultPlan()
+        plan.add(0.1, LinkDown(link, duration=0.2))
+        plan.schedule(sim)
+        sim.schedule_at(0.05, lambda: states.append(link.up))
+        sim.schedule_at(0.15, lambda: states.append(link.up))
+        sim.schedule_at(0.35, lambda: states.append(link.up))
+        sim.run(until=0.5)
+        assert states == [True, False, True]
+
+    def test_blackout_drops_packets(self):
+        sim, a, b, link = topology()
+        got = []
+        b.udp.bind(9, lambda p, *rest: got.append(p))
+        plan = FaultPlan()
+        plan.add(0.0, LinkDown(link, duration=0.1))
+        plan.schedule(sim)
+        sock = a.udp.bind_ephemeral(lambda *args: None)
+        sim.schedule_at(0.05, lambda: sock.send(b"lost", IPv4Address("10.0.0.2"), 9))
+        sim.schedule_at(0.2, lambda: sock.send(b"ok", IPv4Address("10.0.0.2"), 9))
+        sim.run(until=0.5)
+        assert got == [b"ok"]
+
+    def test_flap_cycles(self):
+        sim, a, b, link = topology()
+        transitions = []
+        plan = FaultPlan()
+        plan.add(0.1, LinkFlap(link, down_for=0.05, up_for=0.05, count=3))
+        plan.schedule(sim)
+        probe_times = [0.12, 0.17, 0.22, 0.27, 0.32, 0.4]
+        for t in probe_times:
+            sim.schedule_at(t, lambda: transitions.append(link.up))
+        sim.run(until=1.0)
+        assert transitions == [False, True, False, True, False, True]
+
+    def test_flap_validation(self):
+        sim, a, b, link = topology()
+        with pytest.raises(ValueError):
+            LinkFlap(link, down_for=0.1, up_for=0.1, count=0)
+        with pytest.raises(ValueError):
+            LinkFlap(link, down_for=0.0, up_for=0.1, count=1)
+
+
+class TestBurstyLoss:
+    def test_model_installed_and_reverted(self):
+        sim, a, b, link = topology()
+        action = BurstyLoss(link, duration=0.2)
+        plan = FaultPlan()
+        plan.add(0.1, action)
+        plan.schedule(sim)
+        sim.run(until=0.15)
+        assert link.loss_model is action.model
+        sim.run(until=0.5)
+        assert link.loss_model is None
+
+    def test_gilbert_elliott_bad_state_drops(self):
+        import random
+
+        rng = random.Random(1)
+        model = GilbertElliottLoss(
+            rng, p_good_to_bad=1.0, p_bad_to_good=0.0, loss_good=0.0, loss_bad=1.0
+        )
+        # first step enters the bad state and stays: everything drops
+        assert all(model.should_drop() for _ in range(50))
+        assert model.drops == 50
+
+    def test_gilbert_elliott_good_state_passes(self):
+        import random
+
+        model = GilbertElliottLoss(random.Random(1), p_good_to_bad=0.0, p_bad_to_good=1.0)
+        assert not any(model.should_drop() for _ in range(50))
+
+    def test_gilbert_elliott_validation(self):
+        import random
+
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(random.Random(0), p_good_to_bad=1.5)
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(random.Random(0), loss_bad=-0.1)

@@ -151,3 +151,68 @@ class TestEdgeCases:
         assert lrs1._cookie_ns_target is not None
         assert lrs2._cookie_ns_target is not None
         assert lrs1._cookie_ns_target != lrs2._cookie_ns_target
+
+
+class TestFaultPlanScenarios:
+    """The same failure modes, scripted through repro.faults.FaultPlan."""
+
+    def test_blackout_scripted_with_fault_plan(self):
+        from repro.faults import FaultPlan, LinkDown
+
+        bed = GuardTestbed(seed=6, ans="simulator", ans_mode="referral")
+        client = bed.add_client("lrs")
+        plan = FaultPlan()
+        plan.add(0.1, LinkDown(client.links[0], duration=0.1))
+        plan.schedule(bed.sim)
+        lrs = LrsSimulator(client, ANS_ADDRESS, workload="referral", timeout=0.02)
+        lrs.start()
+        bed.run(0.5)
+        lrs.stop()
+        # progress on both sides of the outage, and losses only during it
+        assert lrs.stats.timeouts > 0
+        assert lrs.stats.completed > 200
+
+    def test_tcp_scheme_under_sustained_bursty_loss(self):
+        from repro.dns import TcpLoadClient
+        from repro.faults import BurstyLoss, FaultPlan
+
+        bed = GuardTestbed(
+            seed=12, ans="simulator", ans_mode="answer", guard_policy="tcp"
+        )
+        client = bed.add_client("tcpload")
+        plan = FaultPlan()
+        plan.add(
+            0.1,
+            BurstyLoss(
+                client.links[0], duration=0.6, p_good_to_bad=0.05, p_bad_to_good=0.3
+            ),
+        )
+        plan.schedule(bed.sim)
+        load = TcpLoadClient(client, ANS_ADDRESS, concurrency=4)
+        load.start()
+        bed.run(1.0)
+        load.stop()
+        bed.run(0.5)
+        # retransmission keeps the stream alive through the bursts...
+        assert load.stats.completed > 100
+        # ...and no legitimate handshake was ever rejected as forged
+        assert bed.guard_node.tcp.cookie_failures == 0
+
+    def test_guard_crash_mid_exchange_recovers(self):
+        from repro.faults import FaultPlan, GuardCrash
+
+        bed = GuardTestbed(seed=13, ans="simulator", ans_mode="referral")
+        client = bed.add_client("lrs")
+        plan = FaultPlan()
+        plan.add(0.15, GuardCrash(bed.guard, downtime=0.05, rotate_key=True))
+        plan.schedule(bed.sim)
+        lrs = LrsSimulator(client, ANS_ADDRESS, workload="referral", timeout=0.02)
+        lrs.start()
+        bed.run(0.6)
+        lrs.stop()
+        assert bed.guard.crashes == 1
+        assert not bed.guard.down
+        # pre-crash cookies verified under the rotated key: no false rejects
+        assert bed.guard.invalid_drops == 0
+        # service resumed after the restart
+        assert lrs.stats.completed > 200

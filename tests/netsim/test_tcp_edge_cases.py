@@ -158,3 +158,167 @@ class TestDuplicateDelivery:
         client.send(Packet(src=IPv4Address("10.0.0.1"), dst=SERVER_IP, segment=dup))
         sim.run(until=1.0)
         assert b"".join(chunks) == b"once"
+
+
+class TestBoundedRetransmission:
+    def test_per_connection_budget_overrides_stack_default(self):
+        sim, client, server = pair()
+        server.tcp.listen(53, lambda conn: None)
+        conn = client.tcp.connect(SERVER_IP, 53, max_retransmits=2)
+        sim.run(until=0.1)
+        client.links[0].loss = 1.0  # blackhole from here on
+        conn.send(b"doomed")
+        sim.run(until=10.0)
+        assert conn.state is TcpState.CLOSED
+        assert conn.aborted_by_retries
+        assert client.tcp.retry_exhaustions == 1
+
+    def test_tight_budget_aborts_much_faster(self):
+        def abort_time(budget):
+            sim, client, server = pair()
+            server.tcp.listen(53, lambda conn: None)
+            closed = []
+            conn = client.tcp.connect(
+                SERVER_IP, 53, max_retransmits=budget,
+                on_close=lambda c, e: closed.append(sim.now),
+            )
+            sim.run(until=0.1)
+            client.links[0].loss = 1.0
+            conn.send(b"x")
+            sim.run(until=120.0)
+            return closed[0]
+
+        assert abort_time(2) < abort_time(MAX_RETRANSMITS) / 3
+
+    def test_transfer_survives_bursty_loss(self):
+        """A Gilbert-Elliott channel loses bursts; retransmission recovers."""
+        import random
+
+        from repro.netsim import GilbertElliottLoss
+
+        sim, client, server = pair(seed=11)
+        link = client.links[0]
+        link.loss_model = GilbertElliottLoss(
+            random.Random(99),
+            p_good_to_bad=0.1,
+            p_bad_to_good=0.3,
+            loss_bad=1.0,
+            start_bad=True,
+        )
+        received = []
+
+        def on_connection(conn):
+            conn.on_data = lambda c, data: received.append(data)
+
+        server.tcp.listen(53, on_connection)
+        client.tcp.connect(SERVER_IP, 53, on_established=lambda c: c.send(b"b" * 6000))
+        sim.run(until=60.0)
+        assert b"".join(received) == b"b" * 6000
+        assert link.loss_model.drops > 0
+
+
+class TestResetAll:
+    def test_silent_reset_leaves_peer_guessing(self):
+        sim, client, server = pair()
+        server.tcp.listen(53, lambda conn: None)
+        conn = client.tcp.connect(SERVER_IP, 53)
+        sim.run(until=0.1)
+        server.tcp.reset_all(send_rst=False)
+        assert server.tcp.open_connections == 0
+        # the client heard nothing: still established until its own timers fire
+        assert conn.state is TcpState.ESTABLISHED
+
+    def test_rst_reset_notifies_peer(self):
+        sim, client, server = pair()
+        server.tcp.listen(53, lambda conn: None)
+        errors = []
+        conn = client.tcp.connect(SERVER_IP, 53, on_close=lambda c, e: errors.append(e))
+        sim.run(until=0.1)
+        server.tcp.reset_all(send_rst=True)
+        sim.run(until=0.5)
+        assert server.tcp.open_connections == 0
+        assert conn.state is TcpState.CLOSED
+        assert errors == [True]
+
+
+class TestTimeWaitLinger:
+    def exchange(self, sim, client, server, syn_cookies=True):
+        """One complete request/response conversation, cleanly closed."""
+
+        def on_connection(conn):
+            def on_data(c, data):
+                if data:
+                    c.send(b"resp")
+                    c.close()
+
+            conn.on_data = on_data
+
+        try:
+            server.tcp.listen(53, on_connection, syn_cookies=syn_cookies)
+        except Exception:
+            pass  # already listening from a previous call
+        conn = client.tcp.connect(
+            SERVER_IP, 53,
+            on_established=lambda c: c.send(b"req"),
+            on_data=lambda c, data: c.close() if data else None,
+        )
+        sim.run(until=sim.now + 1.0)
+        assert client.tcp.open_connections == 0
+        assert server.tcp.open_connections == 0
+        return conn
+
+    def test_stale_duplicate_swallowed_not_cookie_failure(self):
+        sim, client, server = pair()
+        conn = self.exchange(sim, client, server)
+        # replay the client's final pure ACK after full teardown
+        stale = TcpSegment(
+            sport=conn.local_port, dport=53,
+            seq=conn.snd_nxt, ack=conn.rcv_nxt, flags=TcpFlags.ACK,
+        )
+        client.send(Packet(src=IPv4Address("10.0.0.1"), dst=SERVER_IP, segment=stale))
+        sim.run(until=sim.now + 0.5)
+        assert server.tcp.cookie_failures == 0
+        assert server.tcp.stale_segments >= 1
+        assert server.tcp.open_connections == 0
+
+    def test_fresh_syn_clears_linger_entry(self):
+        """A new connect reusing the same 4-tuple must not be blackholed."""
+        from repro.netsim.tcp import TIME_WAIT_LINGER
+
+        sim, client, server = pair()
+        conn = self.exchange(sim, client, server)
+        key = (SERVER_IP, 53, IPv4Address("10.0.0.1"), conn.local_port)
+        assert key in server.tcp._time_wait
+        established = []
+        # reconnect from the very same ephemeral port, inside the linger
+        reconn = client.tcp.connect(
+            SERVER_IP, 53, src=IPv4Address("10.0.0.1"),
+            on_established=lambda c: established.append(c),
+        )
+        reconn.local_port = conn.local_port
+        client.tcp.connections.pop(reconn.key, None)
+        client.tcp.connections[reconn.key] = reconn
+        sim.run(until=sim.now + min(0.5, TIME_WAIT_LINGER / 2))
+        assert established
+
+    def test_rst_to_listener_ignored(self):
+        sim, client, server = pair()
+        server.tcp.listen(53, lambda conn: None, syn_cookies=True)
+        rst = TcpSegment(sport=4444, dport=53, seq=9, ack=7, flags=TcpFlags.RST | TcpFlags.ACK)
+        client.send(Packet(src=IPv4Address("10.0.0.1"), dst=SERVER_IP, segment=rst))
+        sim.run(until=0.5)
+        assert server.tcp.cookie_failures == 0
+        assert server.tcp.open_connections == 0
+
+    def test_stale_data_segment_not_counted_as_forged_cookie(self):
+        sim, client, server = pair()
+        self.exchange(sim, client, server)
+        server.tcp._time_wait.clear()  # pretend the linger already expired
+        stale = TcpSegment(
+            sport=50000, dport=53, seq=123456, ack=987654,
+            flags=TcpFlags.ACK, data=b"old-request",
+        )
+        client.send(Packet(src=IPv4Address("10.0.0.1"), dst=SERVER_IP, segment=stale))
+        sim.run(until=sim.now + 0.5)
+        assert server.tcp.cookie_failures == 0
+        assert server.tcp.stale_segments >= 1
