@@ -18,4 +18,16 @@ python -m repro table2 --sanitize --seed 7
 echo "== fault-injection smoke (faults, sanitized) =="
 python -m repro faults --fast --sanitize
 
+echo "== observability smoke (obs showcase + obs-on/off trace parity) =="
+python -m repro obs --fast > /dev/null
+trace_off=$(python -m repro table2 --sanitize | tail -n 1)
+trace_on=$(python -m repro table2 --sanitize --obs "$(mktemp -d)" --profile | tail -n 1)
+if [ "$trace_off" != "$trace_on" ]; then
+    echo "observability changed the event trace:" >&2
+    echo "  off: $trace_off" >&2
+    echo "  on:  $trace_on" >&2
+    exit 1
+fi
+echo "$trace_on (identical with observability on)"
+
 echo "all checks passed"

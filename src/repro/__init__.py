@@ -41,6 +41,7 @@ from .guard import (
     VerifiedRequestLimiter,
 )
 from .netsim import Link, Node, Simulator
+from .obs import Observability, installed
 
 __version__ = "1.0.0"
 
@@ -60,6 +61,7 @@ __all__ = [
     "Message",
     "Name",
     "Node",
+    "Observability",
     "Question",
     "RRType",
     "RemoteDnsGuard",
@@ -71,6 +73,7 @@ __all__ = [
     "UnverifiedResponseLimiter",
     "VerifiedRequestLimiter",
     "Zone",
+    "installed",
     "make_query",
     "parse_zone_text",
 ]

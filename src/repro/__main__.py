@@ -200,6 +200,57 @@ def _cmd_fluid(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """Showcase the observability subsystem on a short guarded run."""
+    from repro import ANS_ADDRESS, GuardTestbed, LrsSimulator
+    from repro.attack import SpoofingAttacker
+    from repro.obs import Observability, installed
+
+    obs = Observability(profile=True)
+    with installed(obs):
+        bed = GuardTestbed(seed=args.seed, ans="simulator", ans_mode="answer")
+        resolver_node = bed.add_client("resolver", via_local_guard=True)
+        resolver = LrsSimulator(resolver_node, ANS_ADDRESS, workload="plain")
+        attacker = SpoofingAttacker(
+            bed.add_client("attacker"),
+            ANS_ADDRESS,
+            rate=5_000,
+            carry_invalid_cookie=True,
+        )
+        obs.tap(bed.guard_node, protocol="udp", max_records=40)
+        resolver.start()
+        attacker.start()
+        bed.run(0.25 if args.fast else 1.0)
+    obs.collect()
+    print(obs.report())
+    if args.obs is not None:
+        for path in obs.write(args.obs):
+            print(f"wrote {path}")
+    if getattr(args, "bench_profile", None):
+        from repro.obs import write_bench_profile
+
+        write_bench_profile(obs.profiler, args.bench_profile)
+        print(f"wrote {args.bench_profile}")
+    return 0
+
+
+def _run_with_obs(handler, args: argparse.Namespace) -> int:
+    """Run ``handler`` with a process-wide Observability installed, then
+    dump whatever it gathered (run report + exports to ``--obs DIR``)."""
+    from repro.obs import Observability, installed
+
+    obs = Observability(profile=args.profile)
+    with installed(obs):
+        code = handler(args)
+    obs.collect()
+    if args.obs is not None:
+        for path in obs.write(args.obs):
+            print(f"wrote {path}", file=sys.stderr)
+    elif obs.profiler is not None:
+        print(obs.profiler.report(), file=sys.stderr)
+    return code
+
+
 _COMMANDS = {
     "demo": (_cmd_demo, "Run the quickstart demo: a guarded ANS under a spoofed flood"),
     "table1": (_cmd_table1, "Table I: scheme comparison"),
@@ -223,6 +274,10 @@ _COMMANDS = {
     "sensitivity": (
         _cmd_sensitivity,
         "Sensitivity of qualitative claims to the CPU cost model",
+    ),
+    "obs": (
+        _cmd_obs,
+        "Observability showcase: metrics, spans, and a profile of a short run",
     ),
 }
 
@@ -248,15 +303,42 @@ def main(argv: list[str] | None = None) -> int:
             help="run the command twice under the determinism sanitizer and "
             "compare event-trace hashes instead of printing results",
         )
+        sub.add_argument(
+            "--obs",
+            metavar="DIR",
+            default=None,
+            help="gather observability data (metrics, spans, run report) "
+            "and export it into DIR",
+        )
+        sub.add_argument(
+            "--profile",
+            action="store_true",
+            help="also profile the event loop (wall-clock, per-handler)",
+        )
+        if name == "obs":
+            sub.add_argument(
+                "--bench-profile",
+                metavar="PATH",
+                default=None,
+                help="write the event-loop profile as a BENCH_*.json document "
+                "(events/sec trajectory; e.g. BENCH_profile.json)",
+            )
     args = parser.parse_args(argv)
     handler, _ = _COMMANDS[args.command]
+
+    def invoke() -> int:
+        # the `obs` command manages its own Observability instance
+        if args.command != "obs" and (args.obs is not None or args.profile):
+            return _run_with_obs(handler, args)
+        return handler(args)
+
     if args.sanitize:
         from repro.analysis.sanitizer import run_sanitized
 
-        report = run_sanitized(lambda: handler(args))
+        report = run_sanitized(invoke)
         print(report.summary())
         return 0 if report.matched else 1
-    return handler(args)
+    return invoke()
 
 
 if __name__ == "__main__":

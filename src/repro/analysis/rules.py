@@ -376,6 +376,53 @@ class NoFloatTimeEquality(LintRule):
 
 
 # ---------------------------------------------------------------------------
+# W002 — observability code must be observe-only
+# ---------------------------------------------------------------------------
+
+_OBS_FORBIDDEN_CALLS = {"schedule", "schedule_at", "child_rng"}
+
+
+@register
+class ObserveOnly(LintRule):
+    id = "W002"
+    summary = "repro.obs must never schedule events or touch Simulator.rng"
+    rationale = (
+        "the observability layer is a read-only tap: if it schedules events "
+        "or draws randomness, enabling it changes the event trace and every "
+        "--sanitize parity guarantee breaks; obs code may only read "
+        "simulator state"
+    )
+
+    @staticmethod
+    def _applies(path: str) -> bool:
+        return "repro/obs/" in path.replace("\\", "/")
+
+    def check(self, tree: ast.AST, path: str) -> Iterator[Finding]:
+        if not self._applies(path):
+            return
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _OBS_FORBIDDEN_CALLS
+                ):
+                    yield self.finding(
+                        path,
+                        node,
+                        f".{func.attr}() call in observability code — obs must "
+                        "never schedule events or derive RNG streams",
+                    )
+            elif isinstance(node, ast.Attribute) and node.attr == "rng":
+                yield self.finding(
+                    path,
+                    node,
+                    ".rng access in observability code — obs must never touch "
+                    "simulator randomness",
+                )
+
+
+# ---------------------------------------------------------------------------
 # W001 — swallowed exceptions in event callbacks
 # ---------------------------------------------------------------------------
 

@@ -63,6 +63,15 @@ class AuthoritativeServer:
         self.requests_dropped = 0
         self.referrals_sent = 0
         self.answers_sent = 0
+        # observability: serve spans bridge the CPU-queue gap between the
+        # query's arrival and _serve_udp running.  The span is keyed in a
+        # side table rather than threaded through cpu.submit because extra
+        # callback args would change the determinism trace — the event
+        # stream must be identical with obs on or off.
+        self._obs = node.sim.obs
+        self._serve_spans: dict[tuple, object] = {}
+        if self._obs is not None:
+            self._obs.add_snapshot(f"ans.{node.name}", self.stats)
         self._socket = node.udp.bind(53, self._on_udp_query)
         if serve_tcp:
             node.tcp.listen(53, self._on_tcp_connection)
@@ -74,22 +83,39 @@ class AuthoritativeServer:
     ) -> None:
         if not isinstance(payload, Message) or not payload.is_query():
             return
+        obs = self._obs
+        span = None
+        if obs is not None and not obs.spans.exhausted:
+            span = obs.span(
+                "ans.serve", parent=obs.inbound_span(), node=self.node.name
+            )
         if not self.node.cpu.submit(
             self.udp_request_cost, self._serve_udp, payload, src, sport, dst
         ):
             self.requests_dropped += 1
+            if span:
+                span.finish(outcome="cpu_drop")
+        elif span:
+            self._serve_spans[(src, sport, payload.header.msg_id)] = span
+            if len(self._serve_spans) > 4096:
+                self._serve_spans.pop(next(iter(self._serve_spans)))
 
     def _serve_udp(
         self, query: Message, src: IPv4Address, sport: int, dst: IPv4Address
     ) -> None:
+        span = self._serve_spans.pop((src, sport, query.header.msg_id), None)
         response = self.respond(query)
         if response is None:
+            if span:
+                span.finish(outcome="no_response")
             return
         limit = self._udp_payload_limit(query)
         if response.wire_size() > limit:
             wire_capped = Message.decode(response.encode(max_size=limit))
             response = wire_capped
-        self._socket.send(response, src, sport, src=dst)
+        if span:
+            span.finish(outcome="answered")
+        self._socket.send(response, src, sport, src=dst, span=span)
 
     @staticmethod
     def _udp_payload_limit(query: Message) -> int:
@@ -204,6 +230,17 @@ class AuthoritativeServer:
                 dataclasses.replace(rr, ttl=self.answer_ttl_override) for rr in response.answers
             ]
         return response
+
+    def stats(self) -> dict[str, int]:
+        """A point-in-time snapshot of the server's operational counters."""
+        return {
+            "requests_served": self.requests_served,
+            "requests_dropped": self.requests_dropped,
+            "referrals_sent": self.referrals_sent,
+            "answers_sent": self.answers_sent,
+            "axfr_served": self.axfr_served,
+            "axfr_refused": self.axfr_refused,
+        }
 
     def zone_for(self, qname: Name) -> Zone | None:
         """The most specific zone containing ``qname`` (zones sorted deep-first)."""

@@ -73,19 +73,47 @@ class AnsSimulator:
         # a shallow service queue models the UDP socket buffer: overload
         # means drops (which clients see as loss), not unbounded queueing
         node.cpu.queue_limit = queue_limit
+        # observability: spans bridge the CPU-queue gap via a side table —
+        # threading them through cpu.submit args would perturb the
+        # determinism trace (see AuthoritativeServer)
+        self._obs = node.sim.obs
+        self._serve_spans: dict[tuple, object] = {}
+        if self._obs is not None:
+            self._obs.add_snapshot(f"ans.{node.name}", self.stats_snapshot)
         self._socket = node.udp.bind(53, self._on_query)
+
+    def stats_snapshot(self) -> dict[str, int]:
+        return {
+            "requests_served": self.requests_served,
+            "requests_dropped": self.requests_dropped,
+        }
 
     def _on_query(
         self, payload: Message | bytes, src: IPv4Address, sport: int, dst: IPv4Address
     ) -> None:
         if not isinstance(payload, Message) or not payload.is_query():
             return
+        obs = self._obs
+        span = None
+        if obs is not None and not obs.spans.exhausted:
+            span = obs.span(
+                "ans.serve", parent=obs.inbound_span(), node=self.node.name
+            )
         if not self.node.cpu.submit(self.request_cost, self._serve, payload, src, sport, dst):
             self.requests_dropped += 1
+            if span:
+                span.finish(outcome="cpu_drop")
+        elif span:
+            self._serve_spans[(src, sport, payload.header.msg_id)] = span
+            if len(self._serve_spans) > 4096:
+                self._serve_spans.pop(next(iter(self._serve_spans)))
 
     def _serve(self, query: Message, src: IPv4Address, sport: int, dst: IPv4Address) -> None:
         self.requests_served += 1
-        self._socket.send(self.respond(query), src, sport, src=dst)
+        span = self._serve_spans.pop((src, sport, query.header.msg_id), None)
+        if span:
+            span.finish(outcome="answered")
+        self._socket.send(self.respond(query), src, sport, src=dst, span=span)
 
     def respond(self, query: Message) -> Message:
         qname = query.question.qname
@@ -280,11 +308,18 @@ class _Interaction:
         self.socket = None
         self.timer = None
         self.finished = False
+        self.span = None
+        self._leg = None
 
     # -- plumbing -------------------------------------------------------------
 
     def start(self) -> None:
         lrs = self.lrs
+        obs = self.node.sim.obs
+        if obs is not None and not obs.spans.exhausted:
+            self.span = obs.span(
+                "lrs.interaction", qname=self.qname, workload=lrs.workload
+            )
         cookie2 = lrs._cookie2_addresses.get(self.qname)
         ns_target = lrs._cookie_ns_targets.get(self.qname)
         if lrs.workload == "nonreferral" and lrs.cache_cookies and cookie2:
@@ -304,6 +339,10 @@ class _Interaction:
         msg_id = self.lrs.msg_id()
         query = make_query(qname, qtype, msg_id=msg_id)
         self._cleanup_io()
+        leg = None
+        if self.span:
+            leg = self.span.child("lrs.leg", qname=qname, server=server)
+            self._leg = leg
 
         def on_response(
             payload: Message | bytes, src: IPv4Address, sport: int, dst: IPv4Address
@@ -311,13 +350,15 @@ class _Interaction:
             if not isinstance(payload, Message) or payload.header.msg_id != msg_id:
                 return
             self._cancel_timer()
+            if leg is not None:
+                leg.finish()
             if payload.header.tc:
                 self._fall_back_to_tcp(query, src)
                 return
             handler(payload, src)
 
         self.socket = self.node.udp.bind_ephemeral(on_response)
-        self.socket.send(query, server, 53)
+        self.socket.send(query, server, 53, span=leg)
         self.timer = self.node.sim.schedule(self.lrs.timeout, self._on_timeout)
 
     def _on_timeout(self) -> None:
@@ -330,6 +371,10 @@ class _Interaction:
         self.finished = True
         self._cleanup_io()
         self._cancel_timer()
+        if self.span:
+            if self._leg and not self._leg.finished:
+                self._leg.finish(outcome="timeout")
+            self.span.finish(completed=completed)
         self.lrs._iteration_done(completed, self.started_at)
 
     # -- response handlers ---------------------------------------------------------
@@ -375,6 +420,10 @@ class _Interaction:
     def _fall_back_to_tcp(self, query: Message, server: IPv4Address) -> None:
         self._cleanup_io()
         framer = StreamFramer()
+        tcp_span = None
+        if self.span:
+            tcp_span = self.span.child("lrs.tcp_fallback", server=server)
+            self._leg = tcp_span
         deadline = self.node.sim.schedule(self.lrs.timeout * 10, lambda: self._tcp_fail(conn))
 
         def on_established(c: TcpConnection) -> None:
@@ -387,12 +436,16 @@ class _Interaction:
                 if message.header.msg_id == query.header.msg_id:
                     deadline.cancel()
                     c.close()
+                    if tcp_span:
+                        tcp_span.finish(outcome="answered")
                     self.finish(bool(message.answers))
                     return
 
         def on_close(c: TcpConnection, error: bool) -> None:
             if error and not self.finished:
                 deadline.cancel()
+                if tcp_span and not tcp_span.finished:
+                    tcp_span.finish(outcome="error")
                 self.finish(False)
 
         conn = self.node.tcp.connect(

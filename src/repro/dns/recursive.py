@@ -125,7 +125,26 @@ class LocalRecursiveServer:
         if isinstance(qname, str):
             qname = Name.from_text(qname)
         self.resolutions_started += 1
-        task = _Resolution(self, qname, qtype, callback or (lambda result: None), depth=0)
+        callback = callback or (lambda result: None)
+        obs = self.node.sim.obs
+        span = None
+        if obs is not None and not obs.spans.exhausted:
+            # parent onto the delivering packet's span (the stub's attempt)
+            # when there is one — linking client-side and resolver-side views
+            span = obs.span(
+                "recursive.resolve",
+                parent=obs.inbound_span(),
+                qname=qname,
+                node=self.node.name,
+            )
+            inner = callback
+
+            def callback(result: ResolveResult, _inner=inner, _span=span) -> None:
+                _span.finish(status=result.status, queries=result.queries_sent)
+                _inner(result)
+
+        task = _Resolution(self, qname, qtype, callback, depth=0)
+        task.span = span
         task.step()
 
     # -- stub-resolver front door -------------------------------------------------
@@ -231,6 +250,8 @@ class _Resolution:
         self.current_cut = Name.root()
         self._timer = None
         self._socket = None
+        #: observability span for the owning resolve() call, if obs is on
+        self.span = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -291,6 +312,7 @@ class _Resolution:
                 self.finish("servfail")
 
         sub = _Resolution(self.resolver, target, RRType.A, on_sub, depth=self.depth + 1)
+        sub.span = self.span
         sub.step()
 
     def _follow_cname(self, chain: list[ResourceRecord]) -> None:
@@ -320,6 +342,13 @@ class _Resolution:
         query = make_query(wire_qname, self.qtype, msg_id=msg_id)
         self._close_socket()
         sent_at = node.sim.now
+        leg = (
+            self.span.child(
+                "recursive.query", server=server, attempt=self.attempts
+            )
+            if self.span
+            else None
+        )
 
         def on_response(
             payload: Message | bytes, src: IPv4Address, sport: int, dst: IPv4Address
@@ -335,11 +364,13 @@ class _Resolution:
                     or payload.question.qname.labels != wire_qname.labels
                 ):
                     return
+            if leg is not None:
+                leg.finish()
             self.resolver.note_rtt(server, node.sim.now - sent_at)
             self._on_response(payload, server, servers)
 
         self._socket = node.udp.bind_ephemeral(on_response)
-        self._socket.send(query, server, 53)
+        self._socket.send(query, server, 53, span=leg)
         self.queries_sent += 1
         self.resolver.queries_sent += 1
         self._arm_timer(servers, server)
@@ -443,6 +474,11 @@ class _Resolution:
     def _retry_over_tcp(self, server: IPv4Address) -> None:
         self.resolver.tcp_fallbacks += 1
         node = self.resolver.node
+        fallback_span = (
+            self.span.child("recursive.tcp_fallback", server=server)
+            if self.span
+            else None
+        )
         msg_id = self.resolver.msg_id()
         query = make_query(self.qname, self.qtype, msg_id=msg_id)
         framer = StreamFramer()
@@ -468,12 +504,16 @@ class _Resolution:
                 if message.header.msg_id == msg_id:
                     fallback_timer.cancel()
                     c.close()
+                    if fallback_span:
+                        fallback_span.finish(outcome="answered")
                     self._process(message)
                     return
 
         def on_close(c: TcpConnection, error: bool) -> None:
             if error and not self.done:
                 fallback_timer.cancel()
+                if fallback_span:
+                    fallback_span.finish(outcome="error")
                 self.finish("servfail")
 
         conn = node.tcp.connect(

@@ -83,6 +83,13 @@ class StubResolver:
         attempt = 0
         timer = None
         finished = False
+        obs = self.node.sim.obs
+        query_span = (
+            obs.span("stub.query", qname=qname, node=self.node.name)
+            if obs is not None and not obs.spans.exhausted
+            else None
+        )
+        attempt_span = None
 
         def finish(result: StubResult) -> None:
             nonlocal finished
@@ -92,6 +99,10 @@ class StubResolver:
             if timer is not None:
                 timer.cancel()
             socket.close()
+            if query_span:
+                if attempt_span:
+                    attempt_span.finish()
+                query_span.finish(status=result.status, retries=result.retries)
             callback(result)
 
         def on_response(
@@ -108,8 +119,12 @@ class StubResolver:
                 finish(StubResult("ok", list(payload.answers), latency, attempt))
 
         def send_attempt() -> None:
-            nonlocal timer
-            socket.send(message, self.lrs_address, 53)
+            nonlocal timer, attempt_span
+            if query_span:
+                if attempt_span:
+                    attempt_span.finish(outcome="timeout")
+                attempt_span = query_span.child("stub.attempt", n=attempt)
+            socket.send(message, self.lrs_address, 53, span=attempt_span)
             self.queries_sent += 1
             if attempt:
                 self.retries_sent += 1

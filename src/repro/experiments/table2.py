@@ -19,7 +19,9 @@ from __future__ import annotations
 
 import dataclasses
 
-from ..dns import LrsSimulator
+from ..dns import LrsSimulator, TcpLoadClient
+from ..netsim import PacketTracer
+from ..obs import current as current_obs
 from .testbed import ANS_ADDRESS, GuardTestbed
 
 SCHEMES = ("ns_name", "fabricated", "tcp", "modified")
@@ -32,6 +34,18 @@ PAPER_MS = {
     "modified": {"miss": 22.4, "hit": 10.8},
 }
 
+#: Paper §IV.D packet arithmetic: wire packets crossing the guard per
+#: request.  Cookie schemes: 6 (miss) / 4 (hit) except the fabricated
+#: NS name/ip scheme which needs 8 on a miss; the TCP-based scheme pays
+#: the full handshake + teardown every time (10-12 segments + the two
+#: UDP packets of the guard<->ANS leg).
+PAPER_PACKETS = {
+    "ns_name": {"miss": 6, "hit": 4},
+    "fabricated": {"miss": 8, "hit": 4},
+    "tcp": {"miss": 12, "hit": 12},
+    "modified": {"miss": 6, "hit": 4},
+}
+
 
 @dataclasses.dataclass(slots=True)
 class LatencyRow:
@@ -40,6 +54,10 @@ class LatencyRow:
     hit_ms: float
     paper_miss_ms: float
     paper_hit_ms: float
+    packets_miss: float = 0.0
+    packets_hit: float = 0.0
+    paper_packets_miss: int = 0
+    paper_packets_hit: int = 0
 
 
 def _build(scheme: str, seed: int):
@@ -82,10 +100,80 @@ def measure_scheme(scheme: str, *, seed: int = 0, iterations: int = 12) -> tuple
     return miss, hit
 
 
+def _packets_per_request(bed, lrs, *, warm: bool, duration: float = 0.2) -> float:
+    """Average UDP packets crossing the guard per completed request."""
+    if warm:
+        lrs.start()
+        bed.run(0.05)
+        lrs.stop()
+        bed.run(0.05)  # drain in-flight work before tracing
+    tracer = PacketTracer(bed.guard_node)
+    completed_before = lrs.stats.completed
+    lrs.start()
+    bed.run(duration)
+    lrs.stop()
+    bed.run(0.05)
+    tracer.detach()
+    completed = lrs.stats.completed - completed_before
+    if completed <= 0:
+        raise RuntimeError("no completed interactions to average over")
+    return len(tracer.packets(protocol="udp")) / completed
+
+
+def measure_packets(scheme: str, *, seed: int = 0) -> tuple[float, float]:
+    """(cache-miss, cache-hit) wire packets per request at the guard (§IV.D).
+
+    Runs on a LAN testbed (no WAN delay) so the run fits the same duration
+    budget as the latency pass; the packet arithmetic is delay-independent.
+    """
+    if scheme == "ns_name":
+        workload, mode = "referral", "referral"
+    elif scheme == "fabricated":
+        workload, mode = "nonreferral", "answer"
+    elif scheme == "modified":
+        workload, mode = "plain", "answer"
+    elif scheme == "tcp":
+        bed = GuardTestbed(seed=seed, ans="simulator", ans_mode="answer", guard_policy="tcp")
+        client = bed.add_client("lrs")
+        tcp = TcpLoadClient(client, ANS_ADDRESS, concurrency=1)
+        tracer = PacketTracer(bed.guard_node)
+        tcp.start()
+        bed.run(0.2)
+        tcp.stop()
+        bed.run(0.1)
+        tracer.detach()
+        if tcp.stats.completed <= 0:
+            raise RuntimeError("no completed TCP requests to average over")
+        total = len(tracer.packets(protocol="tcp")) + len(tracer.packets(protocol="udp"))
+        per_request = total / tcp.stats.completed
+        return per_request, per_request  # no cookie cache: hit == miss
+    else:
+        raise ValueError(f"unknown scheme {scheme!r}")
+
+    counts = []
+    for phase in ("miss", "hit"):
+        cached = phase == "hit"
+        bed = GuardTestbed(seed=seed, ans="simulator", ans_mode=mode)
+        if scheme == "modified":
+            client = bed.add_client("lrs", via_local_guard=True)
+            client.local_guard.cache_cookies = cached
+            lrs = LrsSimulator(client, ANS_ADDRESS, workload=workload)
+        else:
+            client = bed.add_client("lrs")
+            lrs = LrsSimulator(client, ANS_ADDRESS, workload=workload, cache_cookies=cached)
+        counts.append(_packets_per_request(bed, lrs, warm=cached))
+    return counts[0], counts[1]
+
+
 def run_table2(seed: int = 0) -> list[LatencyRow]:
     rows = []
+    obs = current_obs()
     for scheme in SCHEMES:
         miss, hit = measure_scheme(scheme, seed=seed)
+        # the packet pass runs unconditionally (not only when obs is
+        # installed) so the simulation workload — and therefore the
+        # --sanitize event-trace hash — is identical with obs on or off.
+        packets_miss, packets_hit = measure_packets(scheme, seed=seed)
         rows.append(
             LatencyRow(
                 scheme=scheme,
@@ -93,8 +181,21 @@ def run_table2(seed: int = 0) -> list[LatencyRow]:
                 hit_ms=hit,
                 paper_miss_ms=PAPER_MS[scheme]["miss"],
                 paper_hit_ms=PAPER_MS[scheme]["hit"],
+                packets_miss=packets_miss,
+                packets_hit=packets_hit,
+                paper_packets_miss=PAPER_PACKETS[scheme]["miss"],
+                paper_packets_hit=PAPER_PACKETS[scheme]["hit"],
             )
         )
+        if obs is not None:
+            for phase, ms, packets in (
+                ("miss", miss, packets_miss),
+                ("hit", hit, packets_hit),
+            ):
+                obs.gauge("table2.latency_ms", scheme=scheme, phase=phase).set(ms)
+                obs.gauge(
+                    "table2.packets_per_request", scheme=scheme, phase=phase
+                ).set(packets)
     return rows
 
 
@@ -107,6 +208,14 @@ def format_table2(rows: list[LatencyRow]) -> str:
         lines.append(
             f"{row.scheme:<12} {row.miss_ms:>8.1f} {row.paper_miss_ms:>8.1f}   "
             f"{row.hit_ms:>8.1f} {row.paper_hit_ms:>8.1f}"
+        )
+    lines.append("")
+    lines.append("Packets per request at the guard (paper IV.D)")
+    lines.append(f"{'scheme':<12} {'miss':>8} {'paper':>8}   {'hit':>8} {'paper':>8}")
+    for row in rows:
+        lines.append(
+            f"{row.scheme:<12} {row.packets_miss:>8.1f} {row.paper_packets_miss:>8d}   "
+            f"{row.packets_hit:>8.1f} {row.paper_packets_hit:>8d}"
         )
     return "\n".join(lines)
 

@@ -285,8 +285,18 @@ class FaultPlan:
             raise RuntimeError("FaultPlan already scheduled")
         self.scheduled = True
         ctx = FaultContext(sim=sim, rng=sim.child_rng(FAULT_STREAM))
+        obs = sim.obs
         for at, action in sorted(self.entries, key=lambda entry: entry[0]):
             action.schedule(at, ctx)
+            if obs is not None:
+                # planned timeline: point spans at the *scheduled* times, so a
+                # run report shows the fault script without any extra events.
+                obs.counter("faults.planned", kind=action.name).inc()
+                obs.spans.point("fault.start", at=at, kind=action.name)
+                if action.duration is not None:
+                    obs.spans.point(
+                        "fault.stop", at=at + action.duration, kind=action.name
+                    )
         return ctx
 
     def __len__(self) -> int:

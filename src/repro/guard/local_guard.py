@@ -133,6 +133,7 @@ class LocalDnsGuard:
                 src=packet.src,
                 dst=packet.dst,
                 segment=UdpDatagram(datagram.sport, datagram.dport, DnsPayload(stamped)),
+                span=packet.span,
             )
         )
 
@@ -148,6 +149,7 @@ class LocalDnsGuard:
                 src=packet.src,
                 dst=packet.dst,
                 segment=UdpDatagram(datagram.sport, datagram.dport, DnsPayload(probe)),
+                span=packet.span,
             )
         )
 
@@ -204,7 +206,12 @@ class LocalDnsGuard:
                 continue
             if deadline > now:
                 self.node.send(
-                    Packet(src=held_packet.src, dst=held_packet.dst, segment=held_datagram)
+                    Packet(
+                        src=held_packet.src,
+                        dst=held_packet.dst,
+                        segment=held_datagram,
+                        span=held_packet.span,
+                    )
                 )
             else:
                 self.held_dropped += 1

@@ -146,10 +146,42 @@ class RemoteDnsGuard:
         self.forwarded_inactive = 0
         self.unroutable_replies = 0
 
+        # observability: pull-based stats snapshot plus per-decision
+        # counters/spans via _note(); everything gates on a single None
+        # check so a guard without obs pays nothing
+        self._obs = node.sim.obs
+        self._decision_counters: dict[tuple[str, str], object] = {}
+        if self._obs is not None:
+            self._obs.add_snapshot(f"guard.{node.name}", self.stats)
+
         node.transit_filter = self._transit
         node.forward_cost = self.costs.forward
         self.tcp_proxy = TcpProxy(self) if enable_tcp_proxy else None
         self._sweeper = node.sim.schedule(1.0, self._sweep)
+
+    # -- observability ----------------------------------------------------------------
+
+    def _note(self, scheme: str, outcome: str, parent=None) -> None:
+        """Record one guard decision: a labelled counter, plus a point span
+        parented onto the requester's span when the packet carries one.
+
+        Observe-only — never schedules, never draws randomness — so the
+        event stream is identical whether or not obs is installed.
+        """
+        obs = self._obs
+        if obs is None:
+            return
+        key = (scheme, outcome)
+        counter = self._decision_counters.get(key)
+        if counter is None:
+            counter = self._decision_counters[key] = obs.counter(
+                "guard.decisions", interval=0.1, scheme=scheme, outcome=outcome
+            )
+        counter.inc()  # type: ignore[attr-defined]
+        if parent is not None:
+            obs.spans.point(
+                "guard.decision", parent=parent, scheme=scheme, outcome=outcome
+            )
 
     # -- policy & activation ---------------------------------------------------------
 
@@ -318,14 +350,18 @@ class RemoteDnsGuard:
                 self.valid_cookies += 1
                 if active and not self.rl2.allow(src, now):
                     self.rl2_drops += 1
+                    self._note("modified", "rl2_drop", packet.span)
                     return "drop"
+                self._note("modified", "forward", packet.span)
                 self._strip_and_forward(packet, datagram, message)
                 return "drop"
             if active:
                 self.invalid_drops += 1
                 self._charge(self.costs.drop_invalid)
+                self._note("modified", "invalid_drop", packet.span)
                 return "drop"
             # no detection while inactive: pass it through, cookie stripped
+            self._note("modified", "forward", packet.span)
             self._strip_and_forward(packet, datagram, message)
             return "drop"
 
@@ -343,11 +379,14 @@ class RemoteDnsGuard:
                     self.valid_cookies += 1
                     if not self.rl2.allow(src, now):
                         self.rl2_drops += 1
+                        self._note("ns_name", "rl2_drop", packet.span)
                         return "drop"
+                self._note("ns_name", "forward", packet.span)
                 self._restore_and_forward(packet, datagram, message, decoded)
                 return "drop"
             self.invalid_drops += 1
             self._charge(self.costs.drop_invalid)
+            self._note("ns_name", "invalid_drop", packet.span)
             return "drop"
 
         # plain query from an unverified requester: only challenged while
@@ -357,6 +396,7 @@ class RemoteDnsGuard:
             return "forward"
         action = self.policy_for(src)
         if action == "forward":
+            self._note("plain", "forward", packet.span)
             self._submit(self.costs.forward, self._safe_send, packet)
             return "drop"
         if action == "drop":
@@ -364,16 +404,19 @@ class RemoteDnsGuard:
             # still costs a verification's worth of CPU
             self.invalid_drops += 1
             self._charge(self.costs.drop_invalid)
+            self._note("plain", "policy_drop", packet.span)
             return "drop"
         if not self.rl1.allow(src, now):
             self.rl1_drops += 1
             self._charge(self.costs.per_packet)
+            self._note("plain", "rl1_drop", packet.span)
             return "drop"
         if action == "dns":
             label = self.cookies.label_cookie(src)
             reply = fabricated_referral(message, self.origin, label, ttl=self.ns_ttl)
             if reply is not None:
                 self.referrals_fabricated += 1
+                self._note("ns_name", "challenge", packet.span)
                 self._submit(
                     self.costs.fabricate_response,
                     self._send_udp,
@@ -385,6 +428,7 @@ class RemoteDnsGuard:
                 return "drop"
             # name does not fit in a cookie label: fall back to TCP
         self.truncations_sent += 1
+        self._note("tcp", "challenge", packet.span)
         self._submit(
             self.costs.truncate_response,
             self._send_udp,
@@ -401,10 +445,12 @@ class RemoteDnsGuard:
         if not self.rl1.allow(packet.src, now):
             self.rl1_drops += 1
             self._charge(self.costs.per_packet)
+            self._note("modified", "rl1_drop", packet.span)
             return
         grant = make_response(message)
         attach_cookie(grant, self.cookies.cookie(packet.src))
         self.cookies_granted += 1
+        self._note("modified", "grant", packet.span)
         self._submit(
             self.costs.fabricate_response,
             self._send_udp,
@@ -425,6 +471,7 @@ class RemoteDnsGuard:
             src=packet.src,
             dst=packet.dst,
             segment=UdpDatagram(datagram.sport, datagram.dport, DnsPayload(clean)),
+            span=packet.span,
         )
         self._submit(self.costs.validate_and_forward, self._safe_send, forwarded)
 
@@ -448,6 +495,7 @@ class RemoteDnsGuard:
             src=packet.src,
             dst=self.ans_address,
             segment=UdpDatagram(datagram.sport, 53, DnsPayload(restored)),
+            span=packet.span,
         )
         self._submit(self.costs.validate_and_forward, self._safe_send, forwarded)
 
@@ -466,16 +514,19 @@ class RemoteDnsGuard:
             if not self.cookies.verify_ip_cookie(y, packet.src, r_y):
                 self.invalid_drops += 1
                 self._charge(self.costs.drop_invalid)
+                self._note("fabricated", "invalid_drop", packet.span)
                 return
             self.valid_cookies += 1
             if not self.rl2.allow(packet.src, now):
                 self.rl2_drops += 1
+                self._note("fabricated", "rl2_drop", packet.span)
                 return
         question = message.question
         cached = self._answer_cache.get((question.qname, question.qtype))
         if cached is not None and cached.expires_at > now:
             reply = make_response(message, authoritative=True)
             reply.answers.extend(cached.records)
+            self._note("fabricated", "cached_answer", packet.span)
             self._submit(
                 self.costs.serve_cached_answer,
                 self._send_udp,
@@ -495,10 +546,12 @@ class RemoteDnsGuard:
             qtype=question.qtype,
             expires_at=now + self.pending_timeout,
         )
+        self._note("fabricated", "forward", packet.span)
         forwarded = Packet(
             src=packet.src,
             dst=self.ans_address,
             segment=UdpDatagram(datagram.sport, 53, DnsPayload(message)),
+            span=packet.span,
         )
         self._submit(self.costs.validate_and_forward, self._safe_send, forwarded)
 
@@ -518,8 +571,10 @@ class RemoteDnsGuard:
                 src=pending.rewrite_source,
                 dst=packet.dst,
                 segment=UdpDatagram(53, datagram.dport, DnsPayload(message)),
+                span=packet.span,
             )
             self.responses_transformed += 1
+            self._note("fabricated", "response_rewrite", packet.span)
             self._submit(self.costs.transform_response, self._safe_send, rewritten)
             return "drop"
 
@@ -548,6 +603,7 @@ class RemoteDnsGuard:
                 if len(self._answer_cache) > 4096:
                     self._answer_cache.pop(next(iter(self._answer_cache)))
         self.responses_transformed += 1
+        self._note("ns_name", "response_rewrite", packet.span)
         self._submit(
             self.costs.transform_response,
             self._send_udp,
@@ -632,6 +688,10 @@ class RemoteDnsGuard:
             "pending_exchanges": self.pending_exchanges,
             "cookie_computations": self.cookies.computations,
             "cpu_busy_seconds": self.node.cpu.completed_busy_seconds(),
+            "rl1_allowed": self.rl1.allowed,
+            "rl1_denied": self.rl1.denied,
+            "rl2_allowed": self.rl2.allowed,
+            "rl2_denied": self.rl2.denied,
         }
         if self.tcp_proxy is not None:
             snapshot["tcp_requests_proxied"] = self.tcp_proxy.requests_proxied

@@ -3,20 +3,46 @@
 Experiment runners sample these on the virtual clock to produce the exact
 series the paper plots (throughput of legitimate requests, CPU utilisation
 of the ANS and the guard).
+
+These classes are now thin shims over :mod:`repro.obs`: each series stores
+its samples in a history-tracking :class:`repro.obs.Gauge`.  The sampling
+*tick* still lives here — collectors are part of the experiment workload
+and may schedule events, unlike the observe-only ``repro.obs`` package.
+When a process-wide :class:`repro.obs.Observability` is installed the
+gauge is created in its registry (so the series shows up in run reports
+and exports); otherwise each series owns a private registry.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import itertools
 import math
 
 from ..netsim import Node, Simulator
+from ..obs import Gauge, MetricRegistry
+from ..obs import current as _current_obs
+
+#: Distinguishes multiple series of the same kind inside one obs registry.
+_series_ids = itertools.count()
 
 
 @dataclasses.dataclass(slots=True)
 class Sample:
     time: float
     value: float
+
+
+def _series_gauge(sim: Simulator, name: str, **labels: str) -> Gauge:
+    """A history-tracking gauge on ``sim``'s clock, placed in the installed
+    observability registry when there is one (else a private registry)."""
+    obs = _current_obs()
+    if obs is not None and getattr(obs, "registry", None) is not None:
+        registry = obs.registry
+        labels = dict(labels, series=str(next(_series_ids)))
+    else:
+        registry = MetricRegistry(lambda: sim.now)
+    return registry.gauge(name, track_history=True, **labels)
 
 
 class ThroughputSeries:
@@ -26,9 +52,13 @@ class ThroughputSeries:
         self.sim = sim
         self.stats = stats
         self.interval = interval
-        self.samples: list[Sample] = []
+        self.gauge = _series_gauge(sim, "collector.throughput")
         self._last_completed = stats.completed
         self._running = False
+
+    @property
+    def samples(self) -> list[Sample]:
+        return [Sample(t, v) for t, v in self.gauge.history]
 
     def start(self) -> None:
         self._running = True
@@ -43,13 +73,11 @@ class ThroughputSeries:
             return
         delta = self.stats.completed - self._last_completed
         self._last_completed = self.stats.completed
-        self.samples.append(Sample(self.sim.now, delta / self.interval))
+        self.gauge.set(delta / self.interval)
         self.sim.schedule(self.interval, self._tick)
 
     def mean(self) -> float:
-        if not self.samples:
-            return 0.0
-        return sum(s.value for s in self.samples) / len(self.samples)
+        return self.gauge.mean()
 
 
 class CpuSeries:
@@ -58,10 +86,14 @@ class CpuSeries:
     def __init__(self, node: Node, interval: float = 0.1):
         self.node = node
         self.interval = interval
-        self.samples: list[Sample] = []
+        self.gauge = _series_gauge(node.sim, "collector.cpu_utilization", node=node.name)
         self._running = False
         self._busy_mark = 0.0
         self._time_mark = 0.0
+
+    @property
+    def samples(self) -> list[Sample]:
+        return [Sample(t, v) for t, v in self.gauge.history]
 
     def start(self) -> None:
         self._running = True
@@ -76,15 +108,13 @@ class CpuSeries:
         if not self._running:
             return
         utilization = self.node.cpu.utilization(self._busy_mark, self._time_mark)
-        self.samples.append(Sample(self.node.sim.now, utilization))
+        self.gauge.set(utilization)
         self._busy_mark = self.node.cpu.completed_busy_seconds()
         self._time_mark = self.node.sim.now
         self.node.sim.schedule(self.interval, self._tick)
 
     def mean(self) -> float:
-        if not self.samples:
-            return 0.0
-        return sum(s.value for s in self.samples) / len(self.samples)
+        return self.gauge.mean()
 
 
 class LatencyStats:

@@ -23,7 +23,13 @@ from .packet import (
     UDP_HEADER_BYTES,
     UdpDatagram,
 )
-from .simulator import EventHandle, EventTrace, Simulator, set_trace_collector
+from .simulator import (
+    EventHandle,
+    EventTrace,
+    Simulator,
+    set_observability,
+    set_trace_collector,
+)
 from .trace import PacketTracer, TraceRecord
 from .tcp import (
     DEFAULT_RTO,
@@ -70,6 +76,7 @@ __all__ = [
     "SocketError",
     "Simulator",
     "SubnetAllocator",
+    "set_observability",
     "set_trace_collector",
     "TCP_HEADER_BYTES",
     "TcpConnection",

@@ -181,6 +181,8 @@ class Link:
         self._directions = {id(a): _Direction(), id(b): _Direction()}
         a.attach(self)
         b.attach(self)
+        if sim.obs is not None:
+            sim.obs.register_link(self)
 
     def other(self, node: "Node") -> "Node":
         """The peer on the far end of the link from ``node``."""

@@ -57,6 +57,8 @@ class Node:
 
         self.udp = UdpStack(self)
         self.tcp = TcpStack(self)
+        if sim.obs is not None:
+            sim.obs.register_node(self)
 
     # -- configuration -------------------------------------------------------
 

@@ -117,6 +117,10 @@ class Packet:
     dst: IPv4Address
     segment: Segment
     ttl: int = 64
+    #: Observability span that originated this packet (see repro.obs).
+    #: Pure metadata: excluded from trace_digest and never read by the
+    #: simulation itself, so carrying a span cannot alter behaviour.
+    span: object | None = None
 
     @property
     def size(self) -> int:

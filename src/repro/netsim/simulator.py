@@ -186,6 +186,25 @@ def set_trace_collector(
     return previous
 
 
+#: Process-wide observability context (see :mod:`repro.obs`).  Duck-typed
+#: for the same reason the trace collector is: netsim must not import obs.
+_active_obs = None
+
+
+def set_observability(obs):
+    """Install a process-wide observability context; returns the previous one.
+
+    While installed, every newly constructed :class:`Simulator` calls
+    ``obs.register(sim)`` so the context can follow the virtual clock and
+    (optionally) profile the event loop.  The context is observe-only:
+    installing one never changes the event sequence.
+    """
+    global _active_obs
+    previous = _active_obs
+    _active_obs = obs
+    return previous
+
+
 class EventHandle:
     """A cancellable reference to a scheduled event."""
 
@@ -219,6 +238,13 @@ class Simulator:
         self._queue: list[tuple[float, int, EventHandle, Callable[..., Any], tuple]] = []
         self._sequence = itertools.count()
         self._events_processed = 0
+        #: Observability context attached to this simulator (see repro.obs).
+        #: None in the common case; instrumentation sites gate on it.
+        self.obs = None
+        #: Wall-clock profiler bracketing each event callback when set.
+        self.step_profiler = None
+        if _active_obs is not None:
+            _active_obs.register(self)
         collector = _active_collector
         self.trace: EventTrace | None
         if collector is not None:
@@ -282,7 +308,13 @@ class Simulator:
             self._events_processed += 1
             if self.trace is not None:
                 self.trace.record(time, sequence, callback, args)
-            callback(*args)
+            profiler = self.step_profiler
+            if profiler is None:
+                callback(*args)
+            else:
+                t0 = profiler.begin()
+                callback(*args)
+                profiler.record(callback, profiler.elapsed_since(t0), len(self._queue))
             return True
         return False
 

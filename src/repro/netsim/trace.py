@@ -1,16 +1,21 @@
 """Packet tracing: a tcpdump for the simulated network.
 
-A :class:`PacketTracer` taps one node's links and records every packet that
-crosses them.  Used by tests and experiments to verify, for example, the
-paper's §IV.D packet-count arithmetic — a cache-hit exchange really is 4
-packets at the guard, a cache miss 6, the fabricated variant 8.
+A :class:`PacketTracer` taps the links of one node — or several — and
+records every packet that crosses them.  Captures can be narrowed with
+src/dst/protocol filters (or an arbitrary predicate) and bounded with
+``max_records`` so tracing a long attack run cannot grow memory without
+limit; packets past the cap are counted in ``truncated``, not stored.
+
+Used by tests and experiments to verify, for example, the paper's §IV.D
+packet-count arithmetic — a cache-hit exchange really is 4 packets at
+the guard, a cache miss 6, the fabricated variant 8.
 """
 
 from __future__ import annotations
 
 import dataclasses
 from ipaddress import IPv4Address
-from typing import Callable
+from typing import Callable, Iterable
 
 from .link import Link
 from .node import Node
@@ -61,39 +66,96 @@ def _describe(packet: Packet) -> tuple[int, int, str]:
 
 
 class PacketTracer:
-    """Captures packets crossing a node's links (both directions).
+    """Captures packets crossing the tapped nodes' links (both directions).
 
-    Installed by wrapping each link's ``transmit``; captures therefore see
-    exactly what the wire sees, including retransmissions, and drops at the
-    link layer are recorded as sent-by-the-origin attempts.
+    ``nodes`` may be a single :class:`Node` or an iterable of nodes; a
+    link shared by two tapped nodes is tapped once.  Installed by wrapping
+    each link's ``transmit``; captures therefore see exactly what the wire
+    sees, including retransmissions, and drops at the link layer are
+    recorded as sent-by-the-origin attempts.
+
+    Filters (all optional, all AND-ed):
+
+    * ``src`` / ``dst`` — match the packet's claimed source / destination;
+    * ``protocol`` — ``"udp"`` or ``"tcp"``;
+    * ``filter_fn`` — arbitrary ``Packet -> bool`` predicate.
+
+    With ``max_records`` set, packets matching the filters once the store
+    is full are counted in ``truncated`` instead of recorded.
     """
 
-    def __init__(self, node: Node, *, filter_fn: Callable[[Packet], bool] | None = None):
-        self.node = node
+    def __init__(
+        self,
+        nodes: Node | Iterable[Node],
+        *,
+        filter_fn: Callable[[Packet], bool] | None = None,
+        src: IPv4Address | str | None = None,
+        dst: IPv4Address | str | None = None,
+        protocol: str | None = None,
+        max_records: int | None = None,
+    ):
+        if isinstance(nodes, Node):
+            node_list = [nodes]
+        else:
+            node_list = list(nodes)
+        if not node_list:
+            raise ValueError("PacketTracer needs at least one node to tap")
+        if protocol is not None and protocol not in ("udp", "tcp"):
+            raise ValueError(f"unknown protocol filter {protocol!r}")
+        if max_records is not None and max_records < 0:
+            raise ValueError("max_records must be non-negative")
+        self.nodes = node_list
+        #: First tapped node — kept for single-node back-compat.
+        self.node = node_list[0]
         self.filter_fn = filter_fn
+        self.src = IPv4Address(src) if isinstance(src, str) else src
+        self.dst = IPv4Address(dst) if isinstance(dst, str) else dst
+        self.protocol_filter = protocol
+        self.max_records = max_records
         self.records: list[TraceRecord] = []
+        #: Packets that matched the filters but were not stored (at cap).
+        self.truncated = 0
         self._originals: list[tuple[Link, Callable]] = []
-        for link in node.links:
-            self._tap(link)
+        seen: set[int] = set()
+        for node in node_list:
+            for link in node.links:
+                if id(link) in seen:
+                    continue
+                seen.add(id(link))
+                self._tap(link)
+
+    def _matches(self, packet: Packet) -> bool:
+        if self.src is not None and packet.src != self.src:
+            return False
+        if self.dst is not None and packet.dst != self.dst:
+            return False
+        if self.protocol_filter is not None and packet.protocol != self.protocol_filter:
+            return False
+        if self.filter_fn is not None and not self.filter_fn(packet):
+            return False
+        return True
 
     def _tap(self, link: Link) -> None:
         original = link.transmit
 
-        def tapped(packet: Packet, sender: Node, _original=original) -> bool:
-            if self.filter_fn is None or self.filter_fn(packet):
-                sport, dport, info = _describe(packet)
-                self.records.append(
-                    TraceRecord(
-                        time=self.node.sim.now,
-                        src=packet.src,
-                        dst=packet.dst,
-                        protocol=packet.protocol,
-                        size=packet.size,
-                        sport=sport,
-                        dport=dport,
-                        info=info,
+        def tapped(packet: Packet, sender: Node, _original=original, _link=link) -> bool:
+            if self._matches(packet):
+                if self.max_records is not None and len(self.records) >= self.max_records:
+                    self.truncated += 1
+                else:
+                    sport, dport, info = _describe(packet)
+                    self.records.append(
+                        TraceRecord(
+                            time=_link.sim.now,
+                            src=packet.src,
+                            dst=packet.dst,
+                            protocol=packet.protocol,
+                            size=packet.size,
+                            sport=sport,
+                            dport=dport,
+                            info=info,
+                        )
                     )
-                )
             return _original(packet, sender)
 
         link.transmit = tapped  # type: ignore[method-assign]
@@ -109,6 +171,7 @@ class PacketTracer:
 
     def clear(self) -> None:
         self.records.clear()
+        self.truncated = 0
 
     def __len__(self) -> int:
         return len(self.records)
@@ -130,4 +193,7 @@ class PacketTracer:
         return sum(r.size for r in self.records)
 
     def dump(self) -> str:
-        return "\n".join(str(r) for r in self.records)
+        lines = [str(r) for r in self.records]
+        if self.truncated:
+            lines.append(f"... {self.truncated} packets not captured (max_records cap)")
+        return "\n".join(lines)

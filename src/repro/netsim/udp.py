@@ -42,12 +42,18 @@ class UdpSocket:
         *,
         src: IPv4Address | None = None,
         size: int | None = None,
+        span=None,
     ) -> bool:
-        """Send a datagram.  ``src`` may be spoofed — nothing validates it."""
+        """Send a datagram.  ``src`` may be spoofed — nothing validates it.
+
+        ``span`` is observability metadata carried on the packet (never
+        read by the simulation) so receive-side spans can parent onto it.
+        """
         if self.closed:
             raise SocketError("send on closed socket")
         return self.stack.send(
-            payload, dst, dport, sport=self.port, src=src or self.ip, size=size
+            payload, dst, dport, sport=self.port, src=src or self.ip, size=size,
+            span=span,
         )
 
     def close(self) -> None:
@@ -103,6 +109,7 @@ class UdpStack:
         sport: int,
         src: IPv4Address | None = None,
         size: int | None = None,
+        span=None,
     ) -> bool:
         """Build and transmit a UDP packet from this node.
 
@@ -119,6 +126,9 @@ class UdpStack:
             src=src or self.node.address,
             dst=dst,
             segment=UdpDatagram(sport=sport, dport=dport, payload=body),
+            # NULL_SPAN (falsy) is normalised away so receivers take their
+            # span-free fast path once the span log is at capacity
+            span=span if span else None,
         )
         return self.node.send(packet)
 
@@ -134,4 +144,16 @@ class UdpStack:
         payload = datagram.payload
         data: Message | bytes
         data = payload.message if isinstance(payload, DnsPayload) else payload.data
-        sock.handler(data, packet.src, datagram.sport, packet.dst)
+        obs = self.node.sim.obs
+        if obs is None or packet.span is None:
+            sock.handler(data, packet.src, datagram.sport, packet.dst)
+            return
+        # Expose the sender's span as ambient context for the duration of
+        # the handler so receive-side instrumentation can parent onto it
+        # without changing any handler signature.
+        previous = obs._inbound_span
+        obs._inbound_span = packet.span
+        try:
+            sock.handler(data, packet.src, datagram.sport, packet.dst)
+        finally:
+            obs._inbound_span = previous

@@ -300,3 +300,74 @@ class TestW001SwallowedExceptions:
             """,
             "W001",
         )
+
+
+class TestW002ObserveOnly:
+    OBS_PATH = "src/repro/obs/runtime.py"
+
+    def _findings(self, source: str, path: str = OBS_PATH):
+        found = lint_source(textwrap.dedent(source), path=path)
+        return [f for f in found if f.rule == "W002"]
+
+    def test_flags_schedule_calls_in_obs_code(self):
+        found = self._findings(
+            """
+            def sample(self):
+                self._sim.schedule(0.1, self.sample)
+            """
+        )
+        assert len(found) == 1
+        assert "schedule" in found[0].message
+
+    def test_flags_schedule_at_and_child_rng(self):
+        source = """
+        def arm(sim):
+            sim.schedule_at(1.0, print)
+            stream = sim.child_rng("obs")
+        """
+        assert len(self._findings(source)) == 2
+
+    def test_flags_rng_attribute_access(self):
+        found = self._findings(
+            """
+            def jitter(sim):
+                return sim.rng.random()
+            """
+        )
+        assert found
+        assert any(".rng" in f.message for f in found)
+
+    def test_other_packages_unaffected(self):
+        source = """
+        def arm(sim):
+            sim.schedule(0.1, print)
+            sim.rng.random()
+        """
+        assert not self._findings(source, path="src/repro/netsim/simulator.py")
+        assert not self._findings(source, path="src/repro/faults/plan.py")
+
+    def test_allow_marker_suppresses(self):
+        found = self._findings(
+            """
+            def arm(sim):
+                sim.schedule(0.1, print)  # repro: allow[W002]
+            """
+        )
+        assert not found
+
+    def test_registered(self):
+        assert "W002" in RULES
+
+    def test_whole_obs_package_is_clean(self):
+        import pathlib
+
+        import repro.obs
+
+        package_dir = pathlib.Path(repro.obs.__file__).parent
+        for path in sorted(package_dir.glob("*.py")):
+            found = [
+                f
+                for f in lint_source(path.read_text(), path=str(path))
+                if f.rule == "W002"
+            ]
+            assert not found, f"{path}: {found}"

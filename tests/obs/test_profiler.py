@@ -1,0 +1,78 @@
+"""Wall-clock profiler: attribution, simulator integration, bench export."""
+
+import json
+
+from repro.netsim import Simulator
+from repro.obs import Observability, WallClockProfiler, installed, write_bench_profile
+
+
+class TestProfilerUnit:
+    def test_record_attributes_time_to_handlers(self):
+        prof = WallClockProfiler()
+
+        def handler():
+            pass
+
+        prof.record(handler, 0.25, 3)
+        prof.record(handler, 0.25, 7)
+        assert prof.events == 2
+        assert prof.total_seconds == 0.5
+        assert prof.max_heap_depth == 7
+        assert prof.events_per_second() == 4.0
+        ((key, stats),) = prof.top_handlers()
+        assert key.endswith("handler")
+        assert stats.calls == 2
+
+    def test_bound_methods_collapse_per_class(self):
+        class Thing:
+            def cb(self):
+                pass
+
+        prof = WallClockProfiler()
+        prof.record(Thing().cb, 0.1, 1)
+        prof.record(Thing().cb, 0.1, 1)
+        assert len(prof.handlers) == 1
+        (key,) = prof.handlers
+        assert key.endswith("Thing.cb")
+
+    def test_report_lists_top_handlers(self):
+        prof = WallClockProfiler()
+        prof.record(lambda: None, 0.01, 1)
+        report = prof.report()
+        assert "events / second" in report
+        assert "<lambda>" in report
+
+    def test_empty_profiler_rates_zero(self):
+        assert WallClockProfiler().events_per_second() == 0.0
+
+
+class TestSimulatorIntegration:
+    def test_step_feeds_the_profiler(self):
+        obs = Observability(profile=True)
+        with installed(obs):
+            sim = Simulator(seed=0)
+            for i in range(50):
+                sim.schedule(i * 0.001, lambda: None)
+            sim.run(until=1.0)
+        assert obs.profiler is sim.step_profiler
+        assert obs.profiler.events == 50
+        assert obs.profiler.total_seconds > 0.0
+        assert obs.profiler.max_heap_depth >= 1
+
+    def test_no_profiler_by_default(self):
+        sim = Simulator(seed=0)
+        assert sim.step_profiler is None
+
+
+class TestBenchExport:
+    def test_write_bench_profile(self, tmp_path):
+        prof = WallClockProfiler()
+        prof.record(lambda: None, 0.5, 2)
+        path = tmp_path / "BENCH_profile.json"
+        doc = write_bench_profile(prof, str(path))
+        on_disk = json.loads(path.read_text())
+        assert on_disk == doc
+        assert on_disk["benchmark"] == "simulator-event-loop"
+        assert on_disk["unit"] == "events/sec"
+        assert on_disk["value"] == 2.0
+        assert on_disk["detail"]["events"] == 1

@@ -1,0 +1,157 @@
+"""Unit tests for the typed metric registry."""
+
+import math
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricRegistry
+
+
+class _Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestCounter:
+    def test_monotone_total(self):
+        registry = MetricRegistry()
+        c = registry.counter("packets")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_negative_increment_rejected(self):
+        c = MetricRegistry().counter("packets")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_interval_buckets_follow_the_clock(self):
+        clock = _Clock()
+        registry = MetricRegistry(clock)
+        c = registry.counter("reqs", interval=0.1)
+        c.inc()
+        clock.now = 0.05
+        c.inc()
+        clock.now = 0.25
+        c.inc(3)
+        assert c.series() == [(0.0, 2.0), (pytest.approx(0.2), 3.0)]
+        assert c.rate_series() == [(0.0, pytest.approx(20.0)), (pytest.approx(0.2), pytest.approx(30.0))]
+
+    def test_no_interval_means_no_series(self):
+        c = MetricRegistry().counter("reqs")
+        c.inc()
+        assert c.series() == []
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            MetricRegistry().counter("reqs", interval=0.0)
+
+
+class TestGauge:
+    def test_set_add_and_history(self):
+        clock = _Clock()
+        g = MetricRegistry(clock).gauge("depth", track_history=True)
+        g.set(3)
+        clock.now = 1.0
+        g.add(2)
+        assert g.value == 5.0
+        assert g.history == [(0.0, 3.0), (1.0, 5.0)]
+        assert g.mean() == pytest.approx(4.0)
+
+    def test_history_off_by_default(self):
+        g = MetricRegistry().gauge("depth")
+        g.set(1)
+        assert g.history == []
+        assert g.mean() == 0.0
+
+
+class TestHistogram:
+    def test_bucket_edges_are_inclusive_upper_bounds(self):
+        h = MetricRegistry().histogram("lat", buckets=(1.0, 2.0, 3.0))
+        h.observe(1.0)  # exactly on an edge: belongs to that bucket
+        h.observe(2.0)
+        h.observe(2.0001)  # just past an edge: next bucket
+        h.observe(99.0)  # beyond the last edge: overflow
+        assert h.counts == [1, 1, 1, 1]
+
+    def test_cumulative_and_percentile(self):
+        h = MetricRegistry().histogram("lat", buckets=(0.01, 0.1, 1.0))
+        for _ in range(9):
+            h.observe(0.005)
+        h.observe(0.5)
+        assert h.cumulative() == [(0.01, 9), (0.1, 9), (1.0, 10), (math.inf, 10)]
+        assert h.percentile(50) == 0.01
+        assert h.percentile(99) == 1.0
+
+    def test_empty_percentile_is_nan(self):
+        h = MetricRegistry().histogram("lat")
+        assert math.isnan(h.percentile(50))
+
+    def test_empty_snapshot_has_null_min_max(self):
+        snap = MetricRegistry().histogram("lat").snapshot()
+        assert snap["min"] is None and snap["max"] is None
+
+    def test_min_max_sum(self):
+        h = MetricRegistry().histogram("lat")
+        h.observe(0.2)
+        h.observe(0.05)
+        assert h.min == 0.05
+        assert h.max == 0.2
+        assert h.sum == pytest.approx(0.25)
+        assert h.mean() == pytest.approx(0.125)
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            MetricRegistry().histogram("lat", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            MetricRegistry().histogram("lat", buckets=(1.0, 1.0))
+
+
+class TestRegistry:
+    def test_same_name_and_labels_return_same_metric(self):
+        registry = MetricRegistry()
+        a = registry.counter("drops", reason="invalid")
+        b = registry.counter("drops", reason="invalid")
+        c = registry.counter("drops", reason="overload")
+        assert a is b
+        assert a is not c
+        assert len(registry) == 2
+
+    def test_kind_conflict_raises(self):
+        registry = MetricRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_iteration_is_deterministic(self):
+        registry = MetricRegistry()
+        registry.counter("b")
+        registry.counter("a", z="1")
+        registry.counter("a", k="0")
+        names = [m.full_name for m in registry]
+        assert names == sorted(names)
+
+    def test_find_collects_all_label_sets(self):
+        registry = MetricRegistry()
+        registry.counter("drops", reason="a")
+        registry.counter("drops", reason="b")
+        registry.counter("other")
+        assert len(registry.find("drops")) == 2
+
+    def test_full_name_formatting(self):
+        registry = MetricRegistry()
+        assert registry.counter("plain").full_name == "plain"
+        labelled = registry.counter("dec", scheme="tcp", outcome="drop")
+        assert labelled.full_name == "dec{outcome=drop,scheme=tcp}"
+
+    def test_snapshot_is_json_safe(self):
+        import json
+
+        registry = MetricRegistry()
+        registry.counter("c", interval=0.1).inc()
+        registry.gauge("g", track_history=True).set(1)
+        registry.histogram("h").observe(0.5)
+        json.dumps(registry.snapshot())

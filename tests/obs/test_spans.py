@@ -1,0 +1,191 @@
+"""Span model unit tests plus real-scenario lifecycle nesting."""
+
+import pytest
+
+from repro.dns import LrsSimulator, StubResolver
+from repro.experiments.testbed import ANS_ADDRESS, GuardTestbed
+from repro.netsim import Link, Node, Simulator
+from repro.obs import NULL_SPAN, Observability, SpanLog, installed
+
+
+class _Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestSpanLog:
+    def test_parent_child_linkage(self):
+        clock = _Clock()
+        log = SpanLog(clock)
+        root = log.start("query")
+        clock.now = 0.5
+        child = root.child("attempt", n=0)
+        clock.now = 1.0
+        child.finish(outcome="ok")
+        root.finish()
+        assert child.parent_id == root.span_id
+        assert child.start == 0.5
+        assert child.duration == 0.5
+        assert child.attrs == {"n": 0, "outcome": "ok"}
+        assert log.children_of(root) == [child]
+        assert log.roots() == [root]
+
+    def test_finish_is_idempotent(self):
+        clock = _Clock()
+        log = SpanLog(clock)
+        span = log.start("s")
+        clock.now = 1.0
+        span.finish()
+        clock.now = 2.0
+        span.finish()
+        assert span.end == 1.0
+
+    def test_point_spans_are_zero_duration(self):
+        clock = _Clock()
+        log = SpanLog(clock)
+        clock.now = 3.0
+        root = log.start("root")
+        p = log.point("decision", parent=root, outcome="drop")
+        assert p.start == p.end == 3.0
+        assert p.finished
+        assert p.parent_id == root.span_id
+
+    def test_at_override_for_planned_timelines(self):
+        log = SpanLog(_Clock())
+        span = log.start("fault", at=7.5)
+        span.finish(at=9.0)
+        assert (span.start, span.end) == (7.5, 9.0)
+
+    def test_cap_returns_inert_null_span(self):
+        log = SpanLog(_Clock(), max_spans=2)
+        log.start("a")
+        log.start("b")
+        overflow = log.start("c")
+        assert overflow is NULL_SPAN
+        assert log.dropped == 1
+        # the null span absorbs the whole API without errors
+        overflow.set(x=1)
+        overflow.finish(outcome="?")
+        assert overflow.child("d") is NULL_SPAN
+        assert len(log) == 2
+
+    def test_render_indents_children(self):
+        clock = _Clock()
+        log = SpanLog(clock)
+        root = log.start("outer")
+        root.child("inner").finish()
+        root.finish()
+        lines = log.render().splitlines()
+        assert lines[0].startswith("outer")
+        assert lines[1].startswith("  inner")
+
+    def test_named_lookup(self):
+        log = SpanLog(_Clock())
+        log.start("x")
+        log.start("y")
+        log.start("x")
+        assert len(log.named("x")) == 2
+
+
+class TestScenarioSpans:
+    """Spans captured from real simulations, crossing nodes and protocols."""
+
+    def _run(
+        self,
+        *,
+        guard_policy: str = "dns",
+        workload: str = "plain",
+        via_local_guard: bool = False,
+        duration: float = 0.1,
+    ):
+        obs = Observability()
+        with installed(obs):
+            bed = GuardTestbed(
+                ans="simulator", ans_mode="answer", guard_policy=guard_policy
+            )
+            client = bed.add_client("lrs", via_local_guard=via_local_guard)
+            lrs = LrsSimulator(client, ANS_ADDRESS, workload=workload)
+            lrs.start()
+            bed.run(duration)
+            lrs.stop()
+        return obs
+
+    def test_udp_lifecycle_nests_interaction_leg_ans(self):
+        obs = self._run(via_local_guard=True)
+        interactions = obs.spans.named("lrs.interaction")
+        assert interactions
+        completed = [s for s in interactions if s.attrs.get("completed")]
+        assert completed
+        legs = obs.spans.children_of(completed[0])
+        assert [s.name for s in legs] == ["lrs.leg"]
+        grandchildren = {s.name for s in obs.spans.children_of(legs[0])}
+        assert "ans.serve" in grandchildren
+
+    def test_tcp_fallback_nests_under_interaction(self):
+        obs = self._run(guard_policy="tcp", duration=0.2)
+        fallbacks = obs.spans.named("lrs.tcp_fallback")
+        assert fallbacks
+        span = fallbacks[0]
+        parent = obs.spans.named("lrs.interaction")[0]
+        assert span.parent_id == parent.span_id
+        answered = [s for s in fallbacks if s.attrs.get("outcome") == "answered"]
+        assert answered
+
+    def test_stub_retries_produce_attempt_children(self):
+        obs = Observability()
+        with installed(obs):
+            sim = Simulator(seed=1)
+            client = Node(sim, "client")
+            client.add_address("10.0.0.1")
+            blackhole = Node(sim, "hole")
+            blackhole.add_address("10.0.0.2")
+            link = Link(sim, client, blackhole, delay=0.001)
+            client.set_default_route(link)
+            stub = StubResolver(
+                client, blackhole.address, timeout=0.05, retries=2
+            )
+            results = []
+            stub.query("www.example.com.", callback=results.append)
+            sim.run(until=1.0)
+        assert results and results[0].status == "timeout"
+        query = obs.spans.named("stub.query")[0]
+        attempts = obs.spans.children_of(query)
+        assert [s.name for s in attempts] == ["stub.attempt"] * 3
+        assert query.attrs["retries"] == 2
+        assert all(s.attrs.get("outcome") == "timeout" for s in attempts[:-1])
+
+    def test_fault_plan_renders_planned_timeline(self):
+        from repro.faults import FaultPlan, LinkDown
+
+        obs = Observability()
+        with installed(obs):
+            sim = Simulator(seed=0)
+            a = Node(sim, "a")
+            b = Node(sim, "b")
+            link = Link(sim, a, b)
+            plan = FaultPlan()
+            plan.add(0.5, LinkDown(link, duration=0.25))
+            plan.schedule(sim)
+            sim.run(until=1.0)
+        starts = obs.spans.named("fault.start")
+        stops = obs.spans.named("fault.stop")
+        assert [s.start for s in starts] == [0.5]
+        assert [s.start for s in stops] == [0.75]
+        assert starts[0].attrs["kind"] == "LinkDown"
+        planned = obs.registry.find("faults.planned")
+        assert planned and planned[0].value == 1
+
+
+class TestDisabledCost:
+    def test_no_spans_collected_without_observability(self):
+        bed = GuardTestbed(ans="simulator", ans_mode="answer")
+        client = bed.add_client("lrs")
+        lrs = LrsSimulator(client, ANS_ADDRESS, workload="plain")
+        lrs.start()
+        bed.run(0.05)
+        lrs.stop()
+        assert bed.sim.obs is None
+        assert lrs.stats.completed > 0
