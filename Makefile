@@ -7,7 +7,8 @@ export PYTHONPATH := src
 check: lint test
 
 lint:
-	$(PYTHON) -m repro.analysis src
+	$(PYTHON) -m repro.analysis --flow --baseline scripts/flow_baseline.json src
+	$(PYTHON) -m repro.analysis --rules-md-check README.md
 
 test:
 	$(PYTHON) -m pytest -x -q

@@ -5,8 +5,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== determinism lint (python -m repro.analysis src) =="
-python -m repro.analysis src
+echo "== static analysis (lint + taint dataflow + FSM conformance) =="
+python -m repro.analysis --flow --baseline scripts/flow_baseline.json \
+    --sarif "${SARIF_OUT:-/dev/null}" src
+
+echo "== README rule table drift check =="
+python -m repro.analysis --rules-md-check README.md
 
 echo "== tier-1 tests =="
 python -m pytest -x -q

@@ -9,13 +9,23 @@ bit-for-bit reproducible from its seed.  This package enforces it:
   suppressible inline with ``# repro: allow[RULE]``;
 * :mod:`repro.analysis.engine` — file discovery, parsing, suppression
   filtering; :func:`lint_paths` / :func:`lint_source`;
+* :mod:`repro.analysis.flow` — dataflow analyses: T-rules (taint over the
+  guard trust boundaries declared via ``__trust_boundary__``), S-rules
+  (TCP FSM conformance against the declared spec), SARIF 2.1.0 export and
+  a checked-in findings baseline;
 * :mod:`repro.analysis.sanitizer` — runtime dual-run trace comparison;
   :func:`run_sanitized` plus ``python -m repro <cmd> --sanitize``;
-* :mod:`repro.analysis.cli` — ``python -m repro.analysis [paths...]``,
-  nonzero exit on findings for CI.
+* :mod:`repro.analysis.cli` — ``python -m repro.analysis [--flow]
+  [--sarif OUT] [paths...]``, nonzero exit on findings for CI.
 """
 
-from .engine import lint_file, lint_paths, lint_source, suppressed_rules
+from .engine import (
+    SuppressionTracker,
+    lint_file,
+    lint_paths,
+    lint_source,
+    suppressed_rules,
+)
 from .findings import Finding
 from .rules import RULES, LintRule, register
 from .sanitizer import (
@@ -32,6 +42,7 @@ __all__ = [
     "LintRule",
     "RULES",
     "SanitizeReport",
+    "SuppressionTracker",
     "TraceCollector",
     "capture_traces",
     "lint_file",

@@ -1,7 +1,11 @@
-"""``python -m repro.analysis [--format=text|json] [paths...]``.
+"""``python -m repro.analysis [--flow] [--sarif OUT] [paths...]``.
 
-Runs the determinism lint over the given paths (default: ``src``) and
-exits nonzero on findings, so it slots directly into CI and pre-commit.
+Runs the determinism lint (and, with ``--flow``, the taint-dataflow and
+FSM-conformance analyses plus suppression hygiene) over the given paths
+(default: ``src``) and exits nonzero on findings, so it slots directly
+into CI and pre-commit.  ``--sarif`` additionally writes the findings as
+a SARIF 2.1.0 document for code-scanning upload; ``--rules-md`` /
+``--rules-md-check`` generate and drift-check the README rule table.
 """
 
 from __future__ import annotations
@@ -9,34 +13,109 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 
-from .engine import lint_paths
+from .engine import SYNTAX_ERROR_RULE, SuppressionTracker, lint_paths
+from .findings import Finding
 from .rules import RULES
+
+#: Markers delimiting the generated rule table in README.md.
+RULES_MD_BEGIN = "<!-- rules:begin (generated: python -m repro.analysis --rules-md) -->"
+RULES_MD_END = "<!-- rules:end -->"
 
 
 def _rule_table() -> str:
+    from .flow.engine import flow_rule_table
+
     lines = ["rule   summary", "-----  -------"]
     for rule_id in sorted(RULES):
         rule = RULES[rule_id]
         lines.append(f"{rule_id:<6} {rule.summary}")
         lines.append(f"       why: {rule.rationale}")
+    return "\n".join(lines) + "\n\n" + flow_rule_table()
+
+
+def _rule_rows() -> list[tuple[str, str, str, str]]:
+    """(id, family, summary, rationale) for every registered rule."""
+    from .flow.engine import FLOW_RULES
+
+    rows: list[tuple[str, str, str, str]] = []
+    for rule_id in sorted(RULES):
+        rule = RULES[rule_id]
+        family = "hygiene" if rule_id == "U001" else "lint"
+        rows.append((rule_id, family, rule.summary, rule.rationale))
+    rows.append(
+        (
+            SYNTAX_ERROR_RULE,
+            "parse",
+            "file fails to parse",
+            "nothing can be checked in unparsable code",
+        )
+    )
+    for rule_id in sorted(FLOW_RULES):
+        rule = FLOW_RULES[rule_id]
+        rows.append((rule_id, rule.family, rule.summary, rule.rationale))
+    rows.sort(key=lambda row: row[0])
+    return rows
+
+
+def rules_markdown() -> str:
+    """The generated README rule table, including the guard markers."""
+    lines = [
+        RULES_MD_BEGIN,
+        "| Rule | Family | Summary | Why |",
+        "| --- | --- | --- | --- |",
+    ]
+    for rule_id, family, summary, rationale in _rule_rows():
+        lines.append(f"| `{rule_id}` | {family} | {summary} | {rationale} |")
+    lines.append(RULES_MD_END)
     return "\n".join(lines)
+
+
+def _replace_rules_block(text: str, block: str) -> str | None:
+    """``text`` with the marked block replaced, or None if markers missing."""
+    begin = text.find(RULES_MD_BEGIN)
+    end = text.find(RULES_MD_END)
+    if begin == -1 or end == -1 or end < begin:
+        return None
+    return text[:begin] + block + text[end + len(RULES_MD_END):]
+
+
+def _split_rule_ids(raw: str) -> tuple[list[str] | None, list[str] | None, list[str]]:
+    """Partition ``--rules`` into (lint ids, flow ids, unknown ids)."""
+    from .flow.engine import FLOW_RULES
+
+    lint_ids: list[str] = []
+    flow_ids: list[str] = []
+    unknown: list[str] = []
+    for part in raw.split(","):
+        rule_id = part.strip()
+        if not rule_id:
+            continue
+        if rule_id in RULES:
+            lint_ids.append(rule_id)
+        elif rule_id in FLOW_RULES:
+            flow_ids.append(rule_id)
+        else:
+            unknown.append(rule_id)
+    return lint_ids, flow_ids, unknown
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description=(
-            "Determinism lint for the simulation core: flags wall-clock "
-            "reads, global randomness, unordered scheduling, and other "
-            "reproducibility hazards."
+            "Static analysis for the reproduction: a determinism lint "
+            "(wall-clock reads, global randomness, unordered scheduling) "
+            "plus, with --flow, taint dataflow over the guard trust "
+            "boundaries and FSM conformance for the TCP model."
         ),
     )
     parser.add_argument(
         "paths",
         nargs="*",
         default=["src"],
-        help="files or directories to lint (default: src)",
+        help="files or directories to analyse (default: src)",
     )
     parser.add_argument(
         "--format",
@@ -50,24 +129,136 @@ def main(argv: list[str] | None = None) -> int:
         help="comma-separated rule ids to run (default: all)",
     )
     parser.add_argument(
+        "--flow",
+        action="store_true",
+        help=(
+            "also run the dataflow/FSM analyses (T/S rules) and the "
+            "unused-suppression check (U001)"
+        ),
+    )
+    parser.add_argument(
+        "--sarif",
+        metavar="OUT",
+        default=None,
+        help="write findings as SARIF 2.1.0 to OUT ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help=(
+            "subtract the accepted-findings baseline; stale entries are "
+            "reported as U001"
+        ),
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule table and exit",
+    )
+    parser.add_argument(
+        "--rules-md",
+        action="store_true",
+        help="print the generated markdown rule table and exit",
+    )
+    parser.add_argument(
+        "--rules-md-check",
+        metavar="FILE",
+        default=None,
+        help="exit 1 if FILE's generated rule-table block is out of date",
+    )
+    parser.add_argument(
+        "--rules-md-update",
+        metavar="FILE",
+        default=None,
+        help="rewrite FILE's generated rule-table block in place and exit",
     )
     args = parser.parse_args(argv)
 
     if args.list_rules:
         print(_rule_table())
         return 0
+    if args.rules_md:
+        print(rules_markdown())
+        return 0
+    if args.rules_md_check or args.rules_md_update:
+        target = Path(args.rules_md_check or args.rules_md_update)
+        try:
+            text = target.read_text(encoding="utf-8")
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        updated = _replace_rules_block(text, rules_markdown())
+        if updated is None:
+            print(
+                f"error: {target} has no {RULES_MD_BEGIN!r} block",
+                file=sys.stderr,
+            )
+            return 2
+        if args.rules_md_update:
+            if updated != text:
+                target.write_text(updated, encoding="utf-8")
+            return 0
+        if updated != text:
+            print(
+                f"{target}: rule table is out of date — run "
+                "python -m repro.analysis --rules-md-update "
+                f"{target}",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
 
-    rule_ids = None
+    lint_ids = flow_ids = None
+    run_flow = args.flow
     if args.rules:
-        rule_ids = [part.strip() for part in args.rules.split(",") if part.strip()]
+        lint_ids, flow_ids, unknown = _split_rule_ids(args.rules)
+        if unknown:
+            print(
+                f"error: unknown rule ids: {', '.join(sorted(unknown))}",
+                file=sys.stderr,
+            )
+            return 2
+        # asking for a flow rule implies running the flow engine
+        run_flow = run_flow or bool(flow_ids)
+
     try:
-        findings = lint_paths(args.paths, rule_ids=rule_ids)
+        if run_flow:
+            from .flow.engine import FLOW_RULES, analyze_paths
+
+            tracker = SuppressionTracker()
+            findings = lint_paths(args.paths, rule_ids=lint_ids, tracker=tracker)
+            if flow_ids is None or flow_ids:
+                findings.extend(
+                    analyze_paths(args.paths, rule_ids=flow_ids, tracker=tracker)
+                )
+            known = set(RULES) | set(FLOW_RULES) | {SYNTAX_ERROR_RULE}
+            findings.extend(tracker.unused_findings(known))
+        else:
+            findings = lint_paths(args.paths, rule_ids=lint_ids)
     except (FileNotFoundError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+    if args.baseline:
+        from .flow.baseline import apply_baseline, load_baseline
+
+        try:
+            entries = load_baseline(args.baseline)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        findings = apply_baseline(findings, entries, baseline_path=args.baseline)
+
+    findings.sort(key=Finding.sort_key)
+    if args.sarif:
+        from .flow.sarif import to_sarif
+
+        document = json.dumps(to_sarif(findings), indent=2)
+        if args.sarif == "-":
+            print(document)
+        else:
+            Path(args.sarif).write_text(document + "\n", encoding="utf-8")
 
     try:
         if args.format == "json":

@@ -14,7 +14,9 @@ line.  The marker suppresses only the listed rule ids, only on that line.
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from pathlib import Path
 from typing import Iterable, Iterator
 
@@ -30,15 +32,105 @@ _ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_\s,]+)\]")
 _SKIP_DIRS = {"__pycache__", ".git", ".venv", "build", "dist"}
 
 
+def _add_marker(allowed: dict[int, set[str]], lineno: int, text: str) -> None:
+    match = _ALLOW_RE.search(text)
+    if match:
+        rules = {part.strip() for part in match.group(1).split(",") if part.strip()}
+        allowed.setdefault(lineno, set()).update(rules)
+
+
 def suppressed_rules(source: str) -> dict[int, set[str]]:
-    """Map of 1-based line number -> rule ids allowed on that line."""
+    """Map of 1-based line number -> rule ids allowed on that line.
+
+    Only markers in real ``#`` comment tokens count: a docstring that
+    *mentions* the syntax must neither suppress findings on its line nor
+    register as a marker for U001 hygiene.  Sources that cannot be
+    tokenized (E999 files) fall back to a plain line scan.
+    """
     allowed: dict[int, set[str]] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        match = _ALLOW_RE.search(line)
-        if match:
-            rules = {part.strip() for part in match.group(1).split(",") if part.strip()}
-            allowed.setdefault(lineno, set()).update(rules)
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                _add_marker(allowed, token.start[0], token.string)
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        allowed.clear()
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            _add_marker(allowed, lineno, line)
     return allowed
+
+
+#: Rule id for suppression hygiene: markers that suppress nothing.
+UNUSED_SUPPRESSION_RULE = "U001"
+
+
+class SuppressionTracker:
+    """Marker bookkeeping shared across the lint and flow engines.
+
+    Engines register each file's markers and report which rules they ran;
+    every filtered finding marks its marker *used*.  Afterwards,
+    :meth:`unused_findings` turns the leftovers into U001:
+
+    * a marker naming a rule id no engine knows is always U001 (typos
+      would otherwise suppress nothing, silently, forever);
+    * a marker naming a rule that ran but suppressed nothing on its line
+      is U001 — the hazard it documented is gone, so the rationale is now
+      misinformation;
+    * markers for rules that did *not* run this invocation are left alone
+      (a lint-only run cannot judge a ``allow[T001]`` marker).
+    """
+
+    def __init__(self) -> None:
+        self._markers: dict[tuple[str, int], set[str]] = {}
+        self._used: set[tuple[str, int, str]] = set()
+        self._rules_run: set[str] = set()
+
+    def register_source(self, path: str, source: str) -> None:
+        for lineno, rules in suppressed_rules(source).items():
+            self._markers.setdefault((path, lineno), set()).update(rules)
+
+    def note_rules(self, rule_ids: Iterable[str]) -> None:
+        self._rules_run.update(rule_ids)
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        key = (finding.path, finding.line)
+        if finding.rule in self._markers.get(key, ()):
+            self._used.add((finding.path, finding.line, finding.rule))
+            return True
+        return False
+
+    def unused_findings(self, known_rules: Iterable[str]) -> list[Finding]:
+        known = set(known_rules) | {UNUSED_SUPPRESSION_RULE}
+        findings: list[Finding] = []
+        for (path, lineno), rules in sorted(self._markers.items()):
+            if UNUSED_SUPPRESSION_RULE in rules:
+                # an explicit allow[U001] opts the line out of hygiene
+                continue
+            for rule in sorted(rules):
+                if rule not in known:
+                    message = (
+                        f"suppression marker names unknown rule id {rule!r} "
+                        "— it can never match a finding; fix the id or "
+                        "delete the marker"
+                    )
+                elif rule not in self._rules_run:
+                    continue
+                elif (path, lineno, rule) not in self._used:
+                    message = (
+                        f"unused suppression: {rule} did not fire on this "
+                        "line — the hazard is gone, delete the marker"
+                    )
+                else:
+                    continue
+                findings.append(
+                    Finding(
+                        path=path,
+                        line=lineno,
+                        col=0,
+                        rule=UNUSED_SUPPRESSION_RULE,
+                        message=message,
+                    )
+                )
+        return findings
 
 
 def _select_rules(rule_ids: Iterable[str] | None) -> list[LintRule]:
@@ -53,9 +145,17 @@ def _select_rules(rule_ids: Iterable[str] | None) -> list[LintRule]:
 
 
 def lint_source(
-    source: str, path: str = "<string>", *, rule_ids: Iterable[str] | None = None
+    source: str,
+    path: str = "<string>",
+    *,
+    rule_ids: Iterable[str] | None = None,
+    tracker: SuppressionTracker | None = None,
 ) -> list[Finding]:
     """Lint one source string; returns findings sorted by location."""
+    selected = _select_rules(rule_ids)
+    if tracker is not None:
+        tracker.register_source(path, source)
+        tracker.note_rules(rule.id for rule in selected)
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
@@ -70,19 +170,27 @@ def lint_source(
         ]
     allowed = suppressed_rules(source)
     findings: list[Finding] = []
-    for rule in _select_rules(rule_ids):
+    for rule in selected:
         for finding in rule.check(tree, path):
-            if finding.rule in allowed.get(finding.line, ()):
+            if tracker is not None:
+                if tracker.is_suppressed(finding):
+                    continue
+            elif finding.rule in allowed.get(finding.line, ()):
                 continue
             findings.append(finding)
     return sorted(findings, key=Finding.sort_key)
 
 
-def lint_file(path: str | Path, *, rule_ids: Iterable[str] | None = None) -> list[Finding]:
+def lint_file(
+    path: str | Path,
+    *,
+    rule_ids: Iterable[str] | None = None,
+    tracker: SuppressionTracker | None = None,
+) -> list[Finding]:
     """Lint one file on disk."""
     file_path = Path(path)
     source = file_path.read_text(encoding="utf-8", errors="replace")
-    return lint_source(source, str(file_path), rule_ids=rule_ids)
+    return lint_source(source, str(file_path), rule_ids=rule_ids, tracker=tracker)
 
 
 def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
@@ -103,10 +211,13 @@ def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
 
 
 def lint_paths(
-    paths: Iterable[str | Path], *, rule_ids: Iterable[str] | None = None
+    paths: Iterable[str | Path],
+    *,
+    rule_ids: Iterable[str] | None = None,
+    tracker: SuppressionTracker | None = None,
 ) -> list[Finding]:
     """Lint every Python file under ``paths``; findings sorted by location."""
     findings: list[Finding] = []
     for file_path in iter_python_files(paths):
-        findings.extend(lint_file(file_path, rule_ids=rule_ids))
+        findings.extend(lint_file(file_path, rule_ids=rule_ids, tracker=tracker))
     return sorted(findings, key=Finding.sort_key)

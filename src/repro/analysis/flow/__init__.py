@@ -1,0 +1,46 @@
+"""Taint dataflow + protocol-FSM conformance checking.
+
+The AST lint (D/W rules) catches syntactic hazards; this package checks
+*dataflow* facts — the properties the paper's §III security argument
+actually rests on:
+
+* **T-rules** (:mod:`.taint`) — T001: no guard admission may depend on an
+  attacker-controlled packet field unless a registered sanitizer (cookie
+  verify, SYN-cookie validate, ISN echo check) dominates it; T002: cookie
+  key material must never flow into logs, ``__repr__`` output, or obs
+  exporters.  Guard schemes self-describe their trust boundary with a
+  module-level ``__trust_boundary__`` literal (:mod:`.trust`).
+* **S-rules** (:mod:`.fsm`) — the TCP transition relation is extracted
+  statically from the implementation and checked against the declared FSM
+  spec (:mod:`.fsm_spec`): undeclared/unimplemented transitions,
+  unreachable states, missing retransmit/abort escapes, segment handling
+  before SYN-cookie validation, and an exhaustive small-model walk proving
+  every path to ESTABLISHED crosses the ISN check.
+* :mod:`.sarif` — SARIF 2.1.0 export for CI code scanning.
+* :mod:`.baseline` — checked-in accepted-findings baseline.
+
+Everything is stdlib-``ast`` static analysis: no analysed module is ever
+imported or executed.
+"""
+
+from .core import FunctionSummary, ModuleInfo, build_summaries, load_modules
+from .engine import FLOW_RULES, FlowRule, analyze_paths, flow_rule_table
+from .fsm import extract_fsm
+from .sarif import to_sarif
+from .trust import DEFAULT_TRUST, TrustModel, trust_for_module
+
+__all__ = [
+    "DEFAULT_TRUST",
+    "FLOW_RULES",
+    "FlowRule",
+    "FunctionSummary",
+    "ModuleInfo",
+    "TrustModel",
+    "analyze_paths",
+    "build_summaries",
+    "extract_fsm",
+    "flow_rule_table",
+    "load_modules",
+    "to_sarif",
+    "trust_for_module",
+]

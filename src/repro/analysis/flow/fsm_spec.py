@@ -1,0 +1,101 @@
+"""The declared TCP state machine the implementation must conform to.
+
+This is the *model* side of the S-rules: :mod:`.fsm` extracts the actual
+transition relation from the implementation's AST and checks it against
+this spec.  Transitions name the method whose body lexically performs the
+state assignment (``event``); ``"*"`` is a wildcard source matching any
+state (teardown is legal from everywhere).
+
+``isn_checked`` edges carry the paper's §III.C security argument: a
+completed handshake proves the requester's address because the peer must
+echo the initial sequence number.  The label is **verified, not trusted**
+— :func:`.fsm.check_isn_paths` demands an ISN comparison dominating every
+call path into the transition's code site, and the small-model walk then
+proves every spec path into ESTABLISHED crosses a *verified* ISN edge.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Transition:
+    """One declared edge: ``src --event--> dst``."""
+
+    src: str
+    dst: str
+    event: str
+    isn_checked: bool = False
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class FsmSpec:
+    """A small protocol model: states, edges, and liveness obligations."""
+
+    name: str
+    states: frozenset[str]
+    initial: frozenset[str]
+    accepting: str
+    transitions: tuple[Transition, ...]
+    #: States that MUST have a retransmit escape in the retry handler and
+    #: an abort path bounded by the retransmission budget — a peer that
+    #: goes silent must cost bounded time, never a stuck connection.
+    retry_states: frozenset[str] = frozenset()
+    #: States declared in the protocol but deliberately not represented as
+    #: per-connection state (e.g. TIME_WAIT lives in the stack's tombstone
+    #: table); excluded from reachability checking.
+    virtual_states: frozenset[str] = frozenset()
+
+    def edges_from(self, state: str) -> list[Transition]:
+        return [
+            t for t in self.transitions if t.src == state or t.src == "*"
+        ]
+
+
+#: The spec for ``repro.netsim.tcp``.  Event names are the methods of
+#: ``TcpConnection`` (and ``TcpStack`` for the stateless SYN-cookie path)
+#: that lexically assign ``self.state``.
+TCP_SPEC = FsmSpec(
+    name="repro.netsim.tcp",
+    states=frozenset(
+        {
+            "CLOSED",
+            "LISTEN",
+            "SYN_SENT",
+            "SYN_RCVD",
+            "ESTABLISHED",
+            "FIN_WAIT_1",
+            "FIN_WAIT_2",
+            "CLOSE_WAIT",
+            "LAST_ACK",
+            "TIME_WAIT",
+        }
+    ),
+    initial=frozenset({"CLOSED", "LISTEN"}),
+    accepting="ESTABLISHED",
+    transitions=(
+        # connection setup
+        Transition("CLOSED", "SYN_SENT", "_start_active"),
+        Transition("LISTEN", "SYN_RCVD", "_start_passive"),
+        # every way into ESTABLISHED funnels through _established(), and
+        # every call path into it must be dominated by an ISN echo check:
+        # the client's SYN-ACK validation, the server's final-ACK
+        # validation, and the stateless SYN-cookie validation in demux
+        Transition("SYN_SENT", "ESTABLISHED", "_established", isn_checked=True),
+        Transition("SYN_RCVD", "ESTABLISHED", "_established", isn_checked=True),
+        Transition("LISTEN", "ESTABLISHED", "_established", isn_checked=True),
+        # close paths
+        Transition("ESTABLISHED", "FIN_WAIT_1", "_pump"),
+        Transition("CLOSE_WAIT", "LAST_ACK", "_pump"),
+        Transition("ESTABLISHED", "CLOSE_WAIT", "handle"),
+        Transition("FIN_WAIT_1", "FIN_WAIT_2", "_process_ack"),
+        # teardown is legal from any state (RST, abort, retry exhaustion,
+        # FIN completion); _teardown owns the single lexical assignment
+        Transition("*", "CLOSED", "_teardown"),
+    ),
+    retry_states=frozenset(
+        {"SYN_SENT", "SYN_RCVD", "ESTABLISHED", "FIN_WAIT_1", "LAST_ACK"}
+    ),
+    virtual_states=frozenset({"TIME_WAIT", "LISTEN"}),
+)

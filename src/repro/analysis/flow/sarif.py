@@ -1,0 +1,123 @@
+"""SARIF 2.1.0 export so CI code scanning can ingest the findings.
+
+Only the stdlib ``json``-serialisable subset of SARIF is produced: one run,
+one driver, a rule table, and one result per finding with a physical
+location.  :func:`results_from_sarif` is the inverse for the subset we
+emit — used by the round-trip tests and by tooling that wants to diff two
+SARIF files structurally.
+"""
+
+from __future__ import annotations
+
+from pathlib import PurePath
+from typing import Iterable
+
+from ..findings import Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+_TOOL_NAME = "repro-analysis"
+_TOOL_URI = "https://example.invalid/repro/analysis"  # repo-internal tool
+
+
+def _rule_meta() -> dict[str, tuple[str, str]]:
+    """id -> (summary, rationale) across both engines, plus the metas."""
+    from ..engine import SYNTAX_ERROR_RULE
+    from ..rules import RULES
+    from .engine import FLOW_RULES
+
+    meta: dict[str, tuple[str, str]] = {}
+    for rule_id in sorted(RULES):
+        rule = RULES[rule_id]
+        meta[rule_id] = (rule.summary, rule.rationale)
+    for rule_id in sorted(FLOW_RULES):
+        rule = FLOW_RULES[rule_id]
+        meta[rule_id] = (rule.summary, rule.rationale)
+    meta.setdefault(
+        SYNTAX_ERROR_RULE,
+        ("file fails to parse", "nothing can be checked in unparsable code"),
+    )
+    return meta
+
+
+def to_sarif(findings: Iterable[Finding], *, tool_version: str = "0") -> dict:
+    """A SARIF 2.1.0 document (as a plain dict) for ``findings``."""
+    findings = list(findings)
+    meta = _rule_meta()
+    # stable rule table: every finding's rule, plus all registered rules so
+    # the document is self-describing even on a clean run
+    rule_ids = sorted(set(meta) | {f.rule for f in findings})
+    rule_index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+    rules = []
+    for rule_id in rule_ids:
+        summary, rationale = meta.get(rule_id, (rule_id, ""))
+        rules.append(
+            {
+                "id": rule_id,
+                "shortDescription": {"text": summary},
+                "fullDescription": {"text": rationale},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    results = []
+    for finding in findings:
+        results.append(
+            {
+                "ruleId": finding.rule,
+                "ruleIndex": rule_index[finding.rule],
+                "level": "error",
+                "message": {"text": finding.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": PurePath(finding.path).as_posix(),
+                                "uriBaseId": "SRCROOT",
+                            },
+                            "region": {
+                                "startLine": max(finding.line, 1),
+                                "startColumn": max(finding.col, 0) + 1,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "informationUri": _TOOL_URI,
+                        "version": tool_version,
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+            }
+        ],
+    }
+
+
+def results_from_sarif(document: dict) -> list[Finding]:
+    """Reconstruct :class:`Finding` objects from a document we emitted."""
+    findings: list[Finding] = []
+    for run in document.get("runs", []):
+        for result in run.get("results", []):
+            location = result["locations"][0]["physicalLocation"]
+            region = location.get("region", {})
+            findings.append(
+                Finding(
+                    path=location["artifactLocation"]["uri"],
+                    line=int(region.get("startLine", 1)),
+                    col=int(region.get("startColumn", 1)) - 1,
+                    rule=str(result.get("ruleId", "")),
+                    message=str(result.get("message", {}).get("text", "")),
+                )
+            )
+    return sorted(findings, key=Finding.sort_key)

@@ -1,0 +1,167 @@
+"""Trust-boundary declarations: sources, sanitizers, sinks per scheme.
+
+A guard scheme *self-describes* its trust boundary by declaring a
+module-level literal named ``__trust_boundary__``.  The analyser reads the
+declaration **statically** (``ast.literal_eval`` on the assignment — the
+module is never imported), merges it with the repo-wide defaults below,
+and uses the result to drive the T-rules::
+
+    __trust_boundary__ = {
+        "scheme": "modified",
+        "entry_points": ["RemoteDnsGuard._handle_ans_query"],
+        "taint_params": ["packet", "datagram", "message"],
+        "sanitizers": ["cookies.verify", "policy_for"],
+        "sinks": ["_strip_and_forward", "_safe_send"],
+        "assumes": "free-text statement of what is trusted and why",
+    }
+
+Field semantics:
+
+``entry_points``
+    Qualified function names (``Class.method`` or bare function name)
+    whose ``taint_params`` parameters carry attacker-controlled data.
+    Helpers reached from entry points are covered by call summaries, so
+    they are *not* listed — listing a helper would double-report.
+``taint_params``
+    Parameter names bound to attacker-controlled values at entry points.
+``sanitizers``
+    Call names (matched on their dotted suffix) whose return value is
+    trusted evidence: branching on it, or an early return guarded by its
+    negation, *launders* the dominated region.  These are the paper's
+    cookie verify / SYN-cookie validate / ISN echo check — plus explicit
+    operator decisions such as a per-source policy lookup.
+``sinks``
+    Call names that admit a request toward the protected server.  A sink
+    reached with tainted data or under tainted control, with no sanitizer
+    dominating it, is a T001 finding.  A sink name appearing as a *call
+    argument* (the ``submit(cost, fn, *args)`` callback idiom) is treated
+    as a sink call over the remaining arguments.
+``sanitizer_attrs``
+    Attribute names whose value is sanitizer evidence rather than a call
+    result — e.g. ``iss`` in the TCP stack: comparing ``segment.ack``
+    against ``self.iss + 1`` *is* the ISN echo check, with no function to
+    register.
+``secrets`` / ``secret_attrs``
+    Extra secret-producing call names / attribute names for T002 (merged
+    with the defaults below).
+``assumes``
+    Documentation only: the trust assumption the declaration encodes.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+
+#: Attribute names on any value that is already attacker-tainted do not
+#: matter (taint is closed under attribute access); these are the *root*
+#: secret attributes for T002 — key material wherever it lives.
+DEFAULT_SECRET_ATTRS = frozenset(
+    {"_cookie_secret", "_current_key", "_previous_key"}
+)
+
+#: Calls whose result is key material (T002 sources).
+DEFAULT_SECRET_CALLS = frozenset({"random_key", "export_state"})
+
+#: Calls that *declassify* a secret: a keyed digest is the cookie itself,
+#: which is sent to clients by design — the key does not leak through it.
+DEFAULT_DECLASSIFIERS = frozenset(
+    {"hashlib.md5", "hashlib.blake2b", "hashlib.sha256", "md5", "blake2b"}
+)
+
+#: Exposure sinks for T002: anything that renders values toward logs,
+#: human-facing reports, or the observability exporters.
+DEFAULT_EXPOSURE_SINKS = frozenset(
+    {
+        "print",
+        "logging.info",
+        "logging.debug",
+        "logging.warning",
+        "logging.error",
+        "log",
+        "obs.counter",
+        "obs.gauge",
+        "add_snapshot",
+        "spans.point",
+        "point",
+        "format_text",
+    }
+)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class TrustModel:
+    """The merged trust boundary the T-rules run under for one module."""
+
+    scheme: str = ""
+    entry_points: frozenset[str] = frozenset()
+    taint_params: frozenset[str] = frozenset()
+    sanitizers: frozenset[str] = frozenset()
+    sanitizer_attrs: frozenset[str] = frozenset()
+    sinks: frozenset[str] = frozenset()
+    secret_attrs: frozenset[str] = DEFAULT_SECRET_ATTRS
+    secret_calls: frozenset[str] = DEFAULT_SECRET_CALLS
+    declassifiers: frozenset[str] = DEFAULT_DECLASSIFIERS
+    exposure_sinks: frozenset[str] = DEFAULT_EXPOSURE_SINKS
+    assumes: str = ""
+
+    def is_entry_point(self, qualname: str) -> bool:
+        return qualname in self.entry_points or (
+            "." in qualname and qualname.split(".", 1)[1] in self.entry_points
+        )
+
+
+#: Model applied to modules with no declaration: T002 still runs (secret
+#: hygiene is repo-wide), T001 has no sources/sinks and stays silent.
+DEFAULT_TRUST = TrustModel()
+
+_DECL_NAME = "__trust_boundary__"
+
+_LIST_FIELDS = {
+    "entry_points",
+    "taint_params",
+    "sanitizers",
+    "sanitizer_attrs",
+    "sinks",
+    "secret_attrs",
+    "secret_calls",
+    "declassifiers",
+    "exposure_sinks",
+}
+
+
+def find_declaration(tree: ast.AST) -> dict | None:
+    """The module's ``__trust_boundary__`` literal, or None."""
+    for node in ast.walk(tree):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        else:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == _DECL_NAME:
+                try:
+                    value = ast.literal_eval(node.value)
+                except ValueError:
+                    return None
+                return value if isinstance(value, dict) else None
+    return None
+
+
+def trust_for_module(tree: ast.AST) -> TrustModel:
+    """Merge a module's declaration (if any) over the defaults."""
+    decl = find_declaration(tree)
+    if decl is None:
+        return DEFAULT_TRUST
+    merged: dict[str, object] = {}
+    merged["scheme"] = str(decl.get("scheme", ""))
+    merged["assumes"] = str(decl.get("assumes", ""))
+    for field in _LIST_FIELDS:
+        declared = frozenset(str(item) for item in decl.get(field, ()))
+        base = getattr(DEFAULT_TRUST, field)
+        # list fields *extend* the defaults; an explicit empty list is a
+        # no-op, never a mask — defaults are the safety floor
+        merged[field] = base | declared
+    return TrustModel(**merged)  # type: ignore[arg-type]

@@ -455,3 +455,27 @@ class NoSwallowedExceptions(LintRule):
                     f"except {type_name}: pass swallows every failure — "
                     "handle or re-raise",
                 )
+
+
+# ---------------------------------------------------------------------------
+# U001 — suppression hygiene (documentation entry)
+# ---------------------------------------------------------------------------
+
+
+@register
+class UnusedSuppression(LintRule):
+    id = "U001"
+    summary = "suppression marker that suppresses nothing"
+    rationale = (
+        "an allow[...] marker whose rule never fires on its line — or that "
+        "names an unknown rule id — documents a hazard that no longer "
+        "exists; stale rationales are misinformation, so the marker must "
+        "be deleted when the finding goes away"
+    )
+
+    # U001 is cross-engine: findings are produced by
+    # ``engine.SuppressionTracker.unused_findings`` after the lint *and*
+    # flow analyses report which rules ran.  This class only documents the
+    # rule id in the registry (tables, SARIF metadata, --rules selection).
+    def check(self, tree: ast.AST, path: str) -> Iterator[Finding]:
+        return iter(())

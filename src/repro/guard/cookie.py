@@ -25,6 +25,23 @@ import hashlib
 import secrets
 from ipaddress import IPv4Address
 
+#: Trust boundary for the flow analyser (``repro.analysis.flow``): the
+#: scheme is exactly as strong as key secrecy, so T002 tracks the key
+#: attributes and producers named here (they are also the repo-wide
+#: defaults).  MD5 over the key is the *cookie* — sent to clients by
+#: design — hence hashlib.md5 declassifies.
+__trust_boundary__ = {
+    "scheme": "cookie-core",
+    "secret_attrs": ["_current_key", "_previous_key"],
+    "secret_calls": ["random_key", "export_state"],
+    "declassifiers": ["hashlib.md5"],
+    "assumes": (
+        "export_state() output is persisted state handed to restart(), "
+        "never telemetry; anything else carrying SEC into a log, repr, "
+        "or obs exporter is a T002 key leak"
+    ),
+}
+
 #: Key length chosen so key+IPv4 fills one 80-byte MD5 input block.
 KEY_LENGTH = 76
 

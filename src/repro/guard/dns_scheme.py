@@ -29,6 +29,22 @@ from ..dnswire import (
 from ..dnswire.types import MAX_LABEL_LENGTH
 from .cookie import LABEL_COOKIE_LENGTH, LABEL_PREFIX
 
+#: Trust boundary for the flow analyser (``repro.analysis.flow``).  These
+#: are pure codec helpers: :func:`decode_cookie_name` output is derived
+#: entirely from the attacker-controlled QNAME and stays tainted in the
+#: caller — verification happens in the pipeline via ``verify_label``,
+#: never here.  No entry points, no sinks.
+__trust_boundary__ = {
+    "scheme": "ns_name",
+    "entry_points": [],
+    "taint_params": [],
+    "assumes": (
+        "decode output is untrusted parse structure; the pipeline must "
+        "pass decoded.cookie_label through cookies.verify_label before "
+        "acting on it (enforced there by T001)"
+    ),
+}
+
 #: Default TTL for fabricated NS records — one week, the paper's example
 #: rotation interval, so cookies stay cached and most queries take 1 RTT.
 FABRICATED_NS_TTL = 7 * 24 * 3600

@@ -27,6 +27,27 @@ from ..dnswire import (
 )
 from ..netsim import DnsPayload, Link, Node, Packet, UdpDatagram
 
+#: Trust boundary for the flow analyser (``repro.analysis.flow``).  The
+#: local guard makes no admission decisions — it stamps the resolver's
+#: *own* outbound queries and consumes grants addressed to it — so it
+#: declares taint sources but no sinks: nothing it emits grants an
+#: attacker access to a protected resource.  A forged grant can at worst
+#: plant a cookie the remote guard will reject (one wasted round trip).
+__trust_boundary__ = {
+    "scheme": "local-guard",
+    "entry_points": [
+        "LocalDnsGuard._transit",
+        "LocalDnsGuard._outbound_query",
+        "LocalDnsGuard._inbound_response",
+    ],
+    "taint_params": ["packet", "datagram", "message", "link"],
+    "sinks": [],
+    "assumes": (
+        "outbound queries originate from the on-path LRS; inbound grants "
+        "are verified end-to-end by the remote guard, not here (§III.D)"
+    ),
+}
+
 #: How long a fetched cookie stays cached (the paper's one-week rotation).
 DEFAULT_COOKIE_TTL = 7 * 24 * 3600.0
 

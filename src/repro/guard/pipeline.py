@@ -61,6 +61,40 @@ from .tcp_scheme import TcpProxy
 
 Policy = Literal["dns", "tcp", "forward", "drop"]
 
+#: Trust boundary for the flow analyser (``repro.analysis.flow``): every
+#: packet field entering through these handlers is attacker-controlled
+#: until it flows through one of the registered verifiers.  Read
+#: statically — never imported.
+__trust_boundary__ = {
+    "scheme": "remote-guard",
+    "entry_points": [
+        "RemoteDnsGuard._transit",
+        "RemoteDnsGuard._transit_udp",
+        "RemoteDnsGuard._handle_ans_query",
+        "RemoteDnsGuard._grant_cookie",
+        "RemoteDnsGuard._handle_cookie2_query",
+        "RemoteDnsGuard._handle_ans_response",
+    ],
+    "taint_params": ["packet", "datagram", "message", "link"],
+    "sanitizers": [
+        # the paper's verifiers: one MD5 per check (§IV.B)
+        "cookies.verify",
+        "cookies.verify_label",
+        "cookies.verify_ip_cookie",
+        # per-source policy is an explicit operator trust decision
+        "policy_for",
+        # popping a pending entry proves the response matches soft state
+        # the guard itself created for a verified exchange
+        "_pending.pop",
+    ],
+    "sinks": ["_strip_and_forward", "_restore_and_forward", "_safe_send"],
+    "assumes": (
+        "the ANS address is configuration, not input; fabricated replies "
+        "(_send_udp) return to the claimed source and are rate-limited, "
+        "so they are challenges, not admissions"
+    ),
+}
+
 
 @dataclasses.dataclass(slots=True)
 class _Pending:
@@ -360,9 +394,12 @@ class RemoteDnsGuard:
                 self._charge(self.costs.drop_invalid)
                 self._note("modified", "invalid_drop", packet.span)
                 return "drop"
-            # no detection while inactive: pass it through, cookie stripped
+            # no detection while inactive: pass it through, cookie stripped.
+            # Unverified admission is by design below the activation
+            # threshold (§IV.C): checking only engages once offered load
+            # exceeds what the ANS can absorb.
             self._note("modified", "forward", packet.span)
-            self._strip_and_forward(packet, datagram, message)
+            self._strip_and_forward(packet, datagram, message)  # repro: allow[T001] inactive-mode pass-through, gated by activation threshold
             return "drop"
 
         decoded = decode_cookie_name(
@@ -553,7 +590,10 @@ class RemoteDnsGuard:
             segment=UdpDatagram(datagram.sport, 53, DnsPayload(message)),
             span=packet.span,
         )
-        self._submit(self.costs.validate_and_forward, self._safe_send, forwarded)
+        # while inactive the COOKIE2 namespace is served without the IP
+        # check (clients hold long-TTL fabricated addresses, §IV.C); the
+        # active path above verified before reaching here
+        self._submit(self.costs.validate_and_forward, self._safe_send, forwarded)  # repro: allow[T001] inactive-mode COOKIE2 service, gated by activation threshold
 
     # -- response path -------------------------------------------------------------------
 

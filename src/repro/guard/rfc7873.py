@@ -38,6 +38,22 @@ from ..netsim import DnsPayload, Link, Node, Packet, RoutingError, UdpDatagram
 from .costs import GuardCosts
 from .ratelimit import UnverifiedResponseLimiter
 
+#: Trust boundary for the flow analyser (``repro.analysis.flow``).
+__trust_boundary__ = {
+    "scheme": "rfc7873",
+    "entry_points": [
+        "EdnsCookieGuard._transit",
+        "EdnsCookieClientShim._transit",
+    ],
+    "taint_params": ["packet", "datagram", "message", "link"],
+    "sanitizers": ["server.verify"],
+    "sinks": ["_forward"],
+    "assumes": (
+        "server-cookie grants and the no-cookie policy pass-through are "
+        "the RFC's deliberate unverified paths; both are justified inline"
+    ),
+}
+
 #: EDNS option code for COOKIE (RFC 7873).
 OPTION_COOKIE = 10
 
@@ -149,7 +165,9 @@ class EdnsCookieGuard:
         cookie = extract_edns_cookie(message)
         if cookie is None:
             if self.no_cookie_policy == "forward":
-                self._submit(self.costs.forward, self._forward, packet)
+                # operator chose soft enforcement for legacy clients —
+                # an explicit policy knob, not a verification bypass
+                self._submit(self.costs.forward, self._forward, packet)  # repro: allow[T001] no_cookie_policy="forward" is an explicit operator decision
             else:
                 self.no_cookie_drops += 1
                 self._charge(self.costs.drop_invalid)
@@ -189,7 +207,9 @@ class EdnsCookieGuard:
             dst=packet.src,
             segment=UdpDatagram(53, segment.sport, DnsPayload(grant)),
         )
-        self._submit(self.costs.fabricate_response, self._forward, reply)
+        # the grant is a bounded, rate-limited reply to the *claimed*
+        # source (RFC 7873 §5.2.3) — a challenge, not an admission
+        self._submit(self.costs.fabricate_response, self._forward, reply)  # repro: allow[T001] cookie grant returns to the claimed source under RL1
         return "drop"
 
     def _forward(self, packet: Packet) -> None:

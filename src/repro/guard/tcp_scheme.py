@@ -28,6 +28,23 @@ from .ratelimit import TokenBucket
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .pipeline import RemoteDnsGuard
 
+#: Trust boundary for the flow analyser (``repro.analysis.flow``).  The
+#: TCP scheme has no taint sources on purpose: a connection only reaches
+#: ``_on_connection`` after the three-way handshake, and the handshake
+#: proving the peer's address is enforced *structurally* by the S-rules
+#: over ``repro.netsim.tcp`` (every path to ESTABLISHED must cross the
+#: ISN echo check), not by per-field taint tracking here.
+__trust_boundary__ = {
+    "scheme": "tcp",
+    "entry_points": [],
+    "taint_params": [],
+    "assumes": (
+        "conn.remote is handshake-proven (S004/S005 on repro.netsim.tcp); "
+        "queries arriving over a proven connection are admitted by design "
+        "— §III.C: the sequence number is the cookie"
+    ),
+}
+
 #: Connections older than this multiple of their RTT are reaped.
 REAP_RTT_MULTIPLE = 5.0
 

@@ -53,6 +53,25 @@ TIME_WAIT_LINGER = 1.0
 
 ConnKey = tuple[IPv4Address, int, IPv4Address, int]
 
+#: Trust boundary for the flow analyser (``repro.analysis.flow``).  The
+#: handshake argument is checked two ways: T-rules treat inbound segments
+#: as tainted until they pass an ISN comparison (``iss`` reads and the
+#: SYN-cookie recomputation are the registered evidence), and the S-rules
+#: check the extracted state machine against ``fsm_spec.TCP_SPEC`` —
+#: every path into ESTABLISHED must cross a verified ISN-checked edge.
+__trust_boundary__ = {
+    "scheme": "tcp-handshake",
+    "entry_points": ["TcpConnection.handle", "TcpStack._process"],
+    "taint_params": ["segment", "packet"],
+    "sanitizers": ["_syn_cookie"],
+    "sanitizer_attrs": ["iss"],
+    "sinks": ["on_connection"],
+    "assumes": (
+        "segment fields are attacker-writable (spoofed sources); the ISN "
+        "echo is the only admissible proof of address (§III.C)"
+    ),
+}
+
 
 class TcpState(enum.Enum):
     CLOSED = "closed"
