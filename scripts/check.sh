@@ -5,8 +5,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== static analysis (lint + taint dataflow + FSM conformance) =="
-python -m repro.analysis --flow --baseline scripts/flow_baseline.json \
+echo "== static analysis (lint + taint dataflow + FSM conformance + races) =="
+python -m repro.analysis --flow --races --baseline scripts/flow_baseline.json \
     --sarif "${SARIF_OUT:-/dev/null}" src
 
 echo "== README rule table drift check =="
@@ -21,6 +21,12 @@ python -m repro table2 --sanitize --seed 7
 
 echo "== fault-injection smoke (faults, sanitized) =="
 python -m repro faults --fast --sanitize
+
+echo "== simultaneity races (interference monitor + schedule exploration) =="
+python -m repro table2 --races
+python -m repro faults --fast --races
+python -m repro table1 --fast --explore 25
+python -m repro table2 --explore 5
 
 echo "== observability smoke (obs showcase + obs-on/off trace parity) =="
 python -m repro obs --fast > /dev/null

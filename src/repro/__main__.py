@@ -2,9 +2,12 @@
 
 Commands regenerate the paper's tables and figures or run a quick demo.
 Each accepts ``--fast`` for a reduced (but representative) configuration,
-``--seed`` for reproducibility, and ``--sanitize`` to run the command
-twice under the determinism sanitizer (comparing full event-trace hashes)
-instead of printing its normal output.
+``--seed`` for reproducibility, and three mutually exclusive analysis
+modes that replace the normal output: ``--sanitize`` (run twice, compare
+event-trace hashes), ``--races`` (run under the tie-group interference
+monitor, report R003/R004 simultaneity races), and ``--explore N`` (run
+N extra times with seeded permutations of conflicting tie groups and
+assert canonical-trace invariance).
 """
 
 from __future__ import annotations
@@ -304,6 +307,20 @@ def main(argv: list[str] | None = None) -> int:
             "compare event-trace hashes instead of printing results",
         )
         sub.add_argument(
+            "--races",
+            action="store_true",
+            help="run the command under the tie-group interference monitor "
+            "(R003/R004) and report simultaneity races instead of results",
+        )
+        sub.add_argument(
+            "--explore",
+            metavar="N",
+            type=int,
+            default=None,
+            help="re-run the command N extra times with seeded permutations "
+            "of conflicting tie groups and assert trace invariance",
+        )
+        sub.add_argument(
             "--obs",
             metavar="DIR",
             default=None,
@@ -332,12 +349,36 @@ def main(argv: list[str] | None = None) -> int:
             return _run_with_obs(handler, args)
         return handler(args)
 
+    modes = [
+        name
+        for name, active in (
+            ("--sanitize", args.sanitize),
+            ("--races", args.races),
+            ("--explore", args.explore is not None),
+        )
+        if active
+    ]
+    if len(modes) > 1:
+        parser.error(f"{' and '.join(modes)} are mutually exclusive")
+
     if args.sanitize:
         from repro.analysis.sanitizer import run_sanitized
 
         report = run_sanitized(invoke)
         print(report.summary())
         return 0 if report.matched else 1
+    if args.races:
+        from repro.analysis.races import run_monitored
+
+        report = run_monitored(invoke)
+        print(report.summary())
+        return 0 if report.ok else 1
+    if args.explore is not None:
+        from repro.analysis.races import explore
+
+        report = explore(invoke, permutations=args.explore, seed=args.seed)
+        print(report.summary())
+        return 0 if report.invariant else 1
     return invoke()
 
 

@@ -1,10 +1,11 @@
-"""``python -m repro.analysis [--flow] [--sarif OUT] [paths...]``.
+"""``python -m repro.analysis [--flow] [--races] [--sarif OUT] [paths...]``.
 
 Runs the determinism lint (and, with ``--flow``, the taint-dataflow and
-FSM-conformance analyses plus suppression hygiene) over the given paths
-(default: ``src``) and exits nonzero on findings, so it slots directly
-into CI and pre-commit.  ``--sarif`` additionally writes the findings as
-a SARIF 2.1.0 document for code-scanning upload; ``--rules-md`` /
+FSM-conformance analyses plus suppression hygiene; with ``--races``, the
+static simultaneity rules R001/R002) over the given paths (default:
+``src``) and exits nonzero on findings, so it slots directly into CI and
+pre-commit.  ``--sarif`` additionally writes the findings as a SARIF
+2.1.0 document for code-scanning upload; ``--rules-md`` /
 ``--rules-md-check`` generate and drift-check the README rule table.
 """
 
@@ -26,18 +27,20 @@ RULES_MD_END = "<!-- rules:end -->"
 
 def _rule_table() -> str:
     from .flow.engine import flow_rule_table
+    from .races.engine import race_rule_table
 
     lines = ["rule   summary", "-----  -------"]
     for rule_id in sorted(RULES):
         rule = RULES[rule_id]
         lines.append(f"{rule_id:<6} {rule.summary}")
         lines.append(f"       why: {rule.rationale}")
-    return "\n".join(lines) + "\n\n" + flow_rule_table()
+    return "\n".join(lines) + "\n\n" + flow_rule_table() + "\n\n" + race_rule_table()
 
 
 def _rule_rows() -> list[tuple[str, str, str, str]]:
     """(id, family, summary, rationale) for every registered rule."""
     from .flow.engine import FLOW_RULES
+    from .races.engine import RACE_RULES
 
     rows: list[tuple[str, str, str, str]] = []
     for rule_id in sorted(RULES):
@@ -54,6 +57,9 @@ def _rule_rows() -> list[tuple[str, str, str, str]]:
     )
     for rule_id in sorted(FLOW_RULES):
         rule = FLOW_RULES[rule_id]
+        rows.append((rule_id, rule.family, rule.summary, rule.rationale))
+    for rule_id in sorted(RACE_RULES):
+        rule = RACE_RULES[rule_id]
         rows.append((rule_id, rule.family, rule.summary, rule.rationale))
     rows.sort(key=lambda row: row[0])
     return rows
@@ -81,12 +87,16 @@ def _replace_rules_block(text: str, block: str) -> str | None:
     return text[:begin] + block + text[end + len(RULES_MD_END):]
 
 
-def _split_rule_ids(raw: str) -> tuple[list[str] | None, list[str] | None, list[str]]:
-    """Partition ``--rules`` into (lint ids, flow ids, unknown ids)."""
+def _split_rule_ids(
+    raw: str,
+) -> tuple[list[str], list[str], list[str], list[str]]:
+    """Partition ``--rules`` into (lint, flow, race, unknown) rule ids."""
     from .flow.engine import FLOW_RULES
+    from .races.engine import RACE_RULES
 
     lint_ids: list[str] = []
     flow_ids: list[str] = []
+    race_ids: list[str] = []
     unknown: list[str] = []
     for part in raw.split(","):
         rule_id = part.strip()
@@ -96,9 +106,11 @@ def _split_rule_ids(raw: str) -> tuple[list[str] | None, list[str] | None, list[
             lint_ids.append(rule_id)
         elif rule_id in FLOW_RULES:
             flow_ids.append(rule_id)
+        elif rule_id in RACE_RULES:
+            race_ids.append(rule_id)
         else:
             unknown.append(rule_id)
-    return lint_ids, flow_ids, unknown
+    return lint_ids, flow_ids, race_ids, unknown
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -134,6 +146,14 @@ def main(argv: list[str] | None = None) -> int:
         help=(
             "also run the dataflow/FSM analyses (T/S rules) and the "
             "unused-suppression check (U001)"
+        ),
+    )
+    parser.add_argument(
+        "--races",
+        action="store_true",
+        help=(
+            "also run the static simultaneity-race rules (R001/R002) over "
+            "__shared_state__ declarations and schedule sites"
         ),
     )
     parser.add_argument(
@@ -209,30 +229,39 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         return 0
 
-    lint_ids = flow_ids = None
+    lint_ids = flow_ids = race_ids = None
     run_flow = args.flow
+    run_races = args.races
     if args.rules:
-        lint_ids, flow_ids, unknown = _split_rule_ids(args.rules)
+        lint_ids, flow_ids, race_ids, unknown = _split_rule_ids(args.rules)
         if unknown:
             print(
                 f"error: unknown rule ids: {', '.join(sorted(unknown))}",
                 file=sys.stderr,
             )
             return 2
-        # asking for a flow rule implies running the flow engine
+        # asking for a flow/race rule implies running that engine
         run_flow = run_flow or bool(flow_ids)
+        run_races = run_races or bool(race_ids)
 
     try:
-        if run_flow:
+        if run_flow or run_races:
             from .flow.engine import FLOW_RULES, analyze_paths
+            from .races.engine import RACE_RULES, analyze_races
 
             tracker = SuppressionTracker()
             findings = lint_paths(args.paths, rule_ids=lint_ids, tracker=tracker)
-            if flow_ids is None or flow_ids:
+            if run_flow and (flow_ids is None or flow_ids):
                 findings.extend(
                     analyze_paths(args.paths, rule_ids=flow_ids, tracker=tracker)
                 )
-            known = set(RULES) | set(FLOW_RULES) | {SYNTAX_ERROR_RULE}
+            if run_races and (race_ids is None or race_ids):
+                findings.extend(
+                    analyze_races(args.paths, rule_ids=race_ids, tracker=tracker)
+                )
+            known = (
+                set(RULES) | set(FLOW_RULES) | set(RACE_RULES) | {SYNTAX_ERROR_RULE}
+            )
             findings.extend(tracker.unused_findings(known))
         else:
             findings = lint_paths(args.paths, rule_ids=lint_ids)

@@ -22,8 +22,9 @@ _TOOL_URI = "https://example.invalid/repro/analysis"  # repo-internal tool
 
 
 def _rule_meta() -> dict[str, tuple[str, str]]:
-    """id -> (summary, rationale) across both engines, plus the metas."""
+    """id -> (summary, rationale) across all engines, plus the metas."""
     from ..engine import SYNTAX_ERROR_RULE
+    from ..races.engine import RACE_RULES
     from ..rules import RULES
     from .engine import FLOW_RULES
 
@@ -33,6 +34,9 @@ def _rule_meta() -> dict[str, tuple[str, str]]:
         meta[rule_id] = (rule.summary, rule.rationale)
     for rule_id in sorted(FLOW_RULES):
         rule = FLOW_RULES[rule_id]
+        meta[rule_id] = (rule.summary, rule.rationale)
+    for rule_id in sorted(RACE_RULES):
+        rule = RACE_RULES[rule_id]
         meta[rule_id] = (rule.summary, rule.rationale)
     meta.setdefault(
         SYNTAX_ERROR_RULE,

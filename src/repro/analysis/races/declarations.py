@@ -1,0 +1,94 @@
+"""Shared-state declarations: which attributes the race rules watch.
+
+A module *self-describes* its simultaneity-sensitive state by declaring a
+module-level literal named ``__shared_state__``, next to its
+``__trust_boundary__``.  The race analyser reads the declaration
+**statically** (``ast.literal_eval`` on the assignment) for R001/R002 and
+**at runtime** (plain attribute access on the imported module) for the
+interference monitor behind R003/R004::
+
+    __shared_state__ = {
+        "RemoteDnsGuard": {
+            "guarded": ["_pending", "_answer_cache", "down"],
+            "commutative": ["queries_seen", "invalid_drops"],
+        },
+    }
+
+Field semantics:
+
+``guarded``
+    Attributes whose value two same-instant handlers must not race on:
+    soft-state tables (cookie caches, pending-verification maps, TCP
+    connection buckets), mode flags, timer handles.  Any write/write or
+    read/write overlap inside a tie group is a finding.
+``commutative``
+    Attributes whose concurrent updates commute by construction —
+    monotone counters and gauges (``x += 1`` from two handlers yields the
+    same state in either order).  They are tracked for declaration
+    completeness (R002) but exempt from the conflict rules R001/R003/R004.
+
+Attributes not listed at all are *undeclared*: the static pass flags
+writes to them from scheduled code in declared classes (R002), forcing
+the declaration to stay complete as the class grows.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+
+DECL_NAME = "__shared_state__"
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class SharedStateDecl:
+    """Declared shared-state cells for one class."""
+
+    class_name: str
+    guarded: frozenset[str]
+    commutative: frozenset[str]
+
+    @property
+    def all_attrs(self) -> frozenset[str]:
+        return self.guarded | self.commutative
+
+
+def find_declaration(tree: ast.AST) -> dict | None:
+    """The module's ``__shared_state__`` literal, or None."""
+    for node in ast.walk(tree):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        else:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == DECL_NAME:
+                try:
+                    value = ast.literal_eval(node.value)
+                except ValueError:
+                    return None
+                return value if isinstance(value, dict) else None
+    return None
+
+
+def parse_declaration(raw: dict | None) -> dict[str, SharedStateDecl]:
+    """Normalise a raw ``__shared_state__`` dict to per-class decls."""
+    if not isinstance(raw, dict):
+        return {}
+    decls: dict[str, SharedStateDecl] = {}
+    for class_name, spec in raw.items():
+        if not isinstance(spec, dict):
+            continue
+        decls[str(class_name)] = SharedStateDecl(
+            class_name=str(class_name),
+            guarded=frozenset(str(a) for a in spec.get("guarded", ())),
+            commutative=frozenset(str(a) for a in spec.get("commutative", ())),
+        )
+    return decls
+
+
+def declarations_for_module(tree: ast.AST) -> dict[str, SharedStateDecl]:
+    """Static read: class name -> declaration for one parsed module."""
+    return parse_declaration(find_declaration(tree))

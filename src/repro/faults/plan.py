@@ -21,7 +21,7 @@ from __future__ import annotations
 import dataclasses
 from typing import TYPE_CHECKING, Callable
 
-from ..netsim import GilbertElliottLoss, Link, Node, Simulator
+from ..netsim import BOUNDARY_PRIORITY, GilbertElliottLoss, Link, Node, Simulator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     import random
@@ -30,6 +30,17 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: Name of the Simulator child stream all fault randomness flows through.
 FAULT_STREAM = "faults"
+
+#: Shared-state declaration for the race analyser
+#: (``repro.analysis.races``).  Fault actions run in the boundary
+#: priority lane (state transitions apply "at the start of the instant",
+#: before any same-time packet delivery), so their cells never share a
+#: tie group with default-lane handlers.
+__shared_state__ = {
+    "BurstyLoss": {"guarded": ["model", "_saved"]},
+    "GuardCrash": {"guarded": ["_state"]},
+    "FaultPlan": {"guarded": ["entries", "scheduled"]},
+}
 
 
 @dataclasses.dataclass(slots=True)
@@ -54,9 +65,16 @@ class FaultAction:
         """Revert the fault (no-op by default)."""
 
     def schedule(self, at: float, ctx: FaultContext) -> None:
-        ctx.sim.schedule_at(at, self.start, ctx)
+        # Boundary lane: a fault coinciding with a packet delivery applies
+        # before the delivery, by contract rather than insertion order.
+        # Same-instant fault actions compose in *plan* order (FaultPlan
+        # sorts entries and the tie-break is FIFO), and a crash meeting a
+        # guard sweep converges either way — crash() cancels the sweeper,
+        # and cancellation is honoured inside a tie group (pinned by
+        # tests/faults/test_fault_race.py).
+        ctx.sim.schedule_at(at, self.start, ctx, priority=BOUNDARY_PRIORITY)  # repro: allow[R001,R003,R004] same-instant actions compose in plan order by contract
         if self.duration is not None:
-            ctx.sim.schedule_at(at + self.duration, self.stop, ctx)
+            ctx.sim.schedule_at(at + self.duration, self.stop, ctx, priority=BOUNDARY_PRIORITY)  # repro: allow[R001,R003,R004] revert composes in plan order; crash/sweep converge
 
     @property
     def name(self) -> str:
@@ -95,8 +113,15 @@ class LinkFlap(FaultAction):
     def schedule(self, at: float, ctx: FaultContext) -> None:
         period = self.down_for + self.up_for
         for i in range(self.count):
-            ctx.sim.schedule_at(at + i * period, self.start, ctx)
-            ctx.sim.schedule_at(at + i * period + self.down_for, self.stop, ctx)
+            ctx.sim.schedule_at(
+                at + i * period, self.start, ctx, priority=BOUNDARY_PRIORITY
+            )
+            ctx.sim.schedule_at(
+                at + i * period + self.down_for,
+                self.stop,
+                ctx,
+                priority=BOUNDARY_PRIORITY,
+            )
 
     def start(self, ctx: FaultContext) -> None:
         self.link.up = False

@@ -25,7 +25,7 @@ from ..dnswire import (
     extract_cookie,
     ZERO_COOKIE,
 )
-from ..netsim import DnsPayload, Link, Node, Packet, UdpDatagram
+from ..netsim import BOUNDARY_PRIORITY, DnsPayload, Link, Node, Packet, UdpDatagram
 
 #: Trust boundary for the flow analyser (``repro.analysis.flow``).  The
 #: local guard makes no admission decisions — it stamps the resolver's
@@ -46,6 +46,20 @@ __trust_boundary__ = {
         "outbound queries originate from the on-path LRS; inbound grants "
         "are verified end-to-end by the remote guard, not here (§III.D)"
     ),
+}
+
+#: Shared-state declaration for the race analyser
+#: (``repro.analysis.races``).
+__shared_state__ = {
+    "LocalDnsGuard": {
+        "guarded": ["_cookies", "_held", "_uncookied", "_last_probe", "_sweeper"],
+        "commutative": [
+            "cookies_cached",
+            "queries_stamped",
+            "queries_held",
+            "held_dropped",
+        ],
+    },
 }
 
 #: How long a fetched cookie stays cached (the paper's one-week rotation).
@@ -97,7 +111,11 @@ class LocalDnsGuard:
         self.queries_held = 0
         self.held_dropped = 0
         node.transit_filter = self._transit
-        self._sweeper = node.sim.schedule(1.0, self._sweep)
+        # Boundary lane: expiry applies at the start of an instant, before
+        # any packet delivery sharing the same timestamp.
+        self._sweeper = node.sim.schedule(
+            1.0, self._sweep, priority=BOUNDARY_PRIORITY
+        )
 
     # -- transit hook -----------------------------------------------------------
 
@@ -255,7 +273,9 @@ class LocalDnsGuard:
         stale = [key for key, deadline in self._uncookied.items() if deadline <= now]
         for key in stale:
             del self._uncookied[key]
-        self._sweeper = self.node.sim.schedule(1.0, self._sweep)
+        self._sweeper = self.node.sim.schedule(
+            1.0, self._sweep, priority=BOUNDARY_PRIORITY
+        )
 
     def cached_cookie(self, server: IPv4Address, client: IPv4Address) -> bytes | None:
         entry = self._cookies.get((server, client))

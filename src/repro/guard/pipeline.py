@@ -43,7 +43,15 @@ from ..dnswire import (
     RRType,
     ZERO_COOKIE,
 )
-from ..netsim import DnsPayload, Link, Node, Packet, RoutingError, UdpDatagram
+from ..netsim import (
+    BOUNDARY_PRIORITY,
+    DnsPayload,
+    Link,
+    Node,
+    Packet,
+    RoutingError,
+    UdpDatagram,
+)
 from .cookie import CookieFactory, random_key
 from .costs import GuardCosts
 from .dns_scheme import (
@@ -93,6 +101,39 @@ __trust_boundary__ = {
         "(_send_udp) return to the claimed source and are rate-limited, "
         "so they are challenges, not admissions"
     ),
+}
+
+#: Shared-state declaration for the race analyser
+#: (``repro.analysis.races``): the cells same-instant handlers may
+#: collide on.  Guarded cells are order-sensitive (soft-state tables,
+#: mode flags, timer handles); commutative cells are monotone counters.
+__shared_state__ = {
+    "RemoteDnsGuard": {
+        "guarded": [
+            "_pending",
+            "_answer_cache",
+            "down",
+            "cookies",
+            "estimator",
+            "_sweeper",
+        ],
+        "commutative": [
+            "crashes",
+            "queries_seen",
+            "cookies_granted",
+            "referrals_fabricated",
+            "truncations_sent",
+            "valid_cookies",
+            "invalid_drops",
+            "rl1_drops",
+            "rl2_drops",
+            "overload_drops",
+            "responses_transformed",
+            "forwarded_inactive",
+            "unroutable_replies",
+            "_decision_counters",
+        ],
+    },
 }
 
 
@@ -191,7 +232,11 @@ class RemoteDnsGuard:
         node.transit_filter = self._transit
         node.forward_cost = self.costs.forward
         self.tcp_proxy = TcpProxy(self) if enable_tcp_proxy else None
-        self._sweeper = node.sim.schedule(1.0, self._sweep)
+        # Boundary lane: expiry applies at the start of an instant, before
+        # any packet delivery sharing the same timestamp.
+        self._sweeper = node.sim.schedule(
+            1.0, self._sweep, priority=BOUNDARY_PRIORITY
+        )
 
     # -- observability ----------------------------------------------------------------
 
@@ -297,7 +342,9 @@ class RemoteDnsGuard:
             self.cookies.rotate(random_key(self.node.sim.rng))
         self.down = False
         if self._sweeper is None:
-            self._sweeper = self.node.sim.schedule(1.0, self._sweep)
+            self._sweeper = self.node.sim.schedule(
+            1.0, self._sweep, priority=BOUNDARY_PRIORITY
+        )
 
     # -- transit hook ---------------------------------------------------------------
 
@@ -703,7 +750,9 @@ class RemoteDnsGuard:
         dead = [key for key, entry in self._answer_cache.items() if entry.expires_at <= now]
         for key in dead:
             del self._answer_cache[key]
-        self._sweeper = self.node.sim.schedule(1.0, self._sweep)
+        self._sweeper = self.node.sim.schedule(
+            1.0, self._sweep, priority=BOUNDARY_PRIORITY
+        )
 
     @property
     def pending_exchanges(self) -> int:

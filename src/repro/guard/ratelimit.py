@@ -18,6 +18,24 @@ import dataclasses
 from collections import OrderedDict
 from ipaddress import IPv4Address
 
+#: Shared-state declaration for the race analyser
+#: (``repro.analysis.races``).  Token-bucket state is guarded even though
+#: refills look idempotent: ``consume`` at equal virtual time is
+#: last-writer-wins on ``_tokens``.
+__shared_state__ = {
+    "TokenBucket": {"guarded": ["_tokens", "_updated_at"]},
+    "TopRequesterTracker": {"guarded": ["_counts"], "commutative": ["total"]},
+    "UnverifiedResponseLimiter": {
+        "guarded": ["_buckets", "tracker"],
+        "commutative": ["allowed", "denied"],
+    },
+    "VerifiedRequestLimiter": {
+        "guarded": ["_buckets"],
+        "commutative": ["allowed", "denied"],
+    },
+    "RateEstimator": {"guarded": ["_count", "_window_start", "_last_rate"]},
+}
+
 
 class TokenBucket:
     """A standard token bucket: ``rate`` tokens/sec, ``burst`` capacity."""

@@ -22,7 +22,7 @@ from typing import TYPE_CHECKING
 
 from ..dnswire import Message
 from ..dns.framing import StreamFramer, frame
-from ..netsim import TcpConnection, TcpState
+from ..netsim import BOUNDARY_PRIORITY, TcpConnection, TcpState
 from .ratelimit import TokenBucket
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -43,6 +43,21 @@ __trust_boundary__ = {
         "queries arriving over a proven connection are admitted by design "
         "— §III.C: the sequence number is the cookie"
     ),
+}
+
+#: Shared-state declaration for the race analyser
+#: (``repro.analysis.races``).
+__shared_state__ = {
+    "TcpProxy": {
+        "guarded": ["_client_buckets"],
+        "commutative": [
+            "requests_proxied",
+            "connections_accepted",
+            "connections_rate_limited",
+            "connections_reaped",
+            "malformed_streams",
+        ],
+    },
 }
 
 #: Connections older than this multiple of their RTT are reaped.
@@ -115,7 +130,9 @@ class TcpProxy:
                 self.guard._note("tcp", "conn_reaped")
                 conn.abort()
 
-        self.node.sim.schedule(deadline, reap)
+        # Boundary lane: reaping is an expiry sweep — it applies before any
+        # same-instant segment delivery on the doomed connection.
+        self.node.sim.schedule(deadline, reap, priority=BOUNDARY_PRIORITY)
 
     def _on_stream_data(self, conn: TcpConnection, framer: StreamFramer, data: bytes) -> None:
         if data == b"":

@@ -24,10 +24,14 @@ from .packet import (
     UdpDatagram,
 )
 from .simulator import (
+    BOUNDARY_PRIORITY,
+    DEFAULT_PRIORITY,
     EventHandle,
     EventTrace,
     Simulator,
+    TieEvent,
     set_observability,
+    set_tie_hook,
     set_trace_collector,
 )
 from .trace import PacketTracer, TraceRecord
@@ -46,6 +50,7 @@ from .udp import UdpSocket, UdpStack
 
 __all__ = [
     "AddressError",
+    "BOUNDARY_PRIORITY",
     "Chain",
     "ConnectionError_",
     "Cpu",
@@ -53,6 +58,7 @@ __all__ = [
     "PacketFilter",
     "Rule",
     "Verdict",
+    "DEFAULT_PRIORITY",
     "DEFAULT_RTO",
     "DnsPayload",
     "EventHandle",
@@ -77,8 +83,10 @@ __all__ = [
     "Simulator",
     "SubnetAllocator",
     "set_observability",
+    "set_tie_hook",
     "set_trace_collector",
     "TCP_HEADER_BYTES",
+    "TieEvent",
     "TcpConnection",
     "TcpFlags",
     "TcpSegment",

@@ -247,13 +247,20 @@ class Link:
             # held back long enough for later packets to overtake it
             direction.packets_reordered += 1
             delay += self.reorder_delay if self.reorder_delay > 0 else self.delay
-        self.sim.schedule_at(departure + delay, receiver.receive, packet, self)
+        # Same-instant arrivals at one node serialize in send order: a real
+        # box drains one NIC queue, so two deliveries interfering on the
+        # receiver's state (rate-limiter buckets, held-query tables) is
+        # serial processing, not a race.  The FIFO tie-break *is* the
+        # queue; the interference monitor is told so here rather than per
+        # cell, because the contract is about this schedule site, not
+        # about any particular attribute.
+        self.sim.schedule_at(departure + delay, receiver.receive, packet, self)  # repro: allow[R003,R004] same-node deliveries drain one serial queue in send order
         if self.duplicate_prob and fault_rng.random() < self.duplicate_prob:
             direction.packets_duplicated += 1
             # an independent copy: routers decrement ttl in place, and the
             # two arrivals must not share that mutation
             twin = Packet(src=packet.src, dst=packet.dst, segment=packet.segment, ttl=packet.ttl)
-            self.sim.schedule_at(departure + delay + self.delay, receiver.receive, twin, self)
+            self.sim.schedule_at(departure + delay + self.delay, receiver.receive, twin, self)  # repro: allow[R003,R004] duplicate delivery follows the same serial-queue contract
         return True
 
     def stats(self, sender: "Node") -> tuple[int, int, int]:

@@ -15,21 +15,47 @@ That reproducibility claim is machine-checked rather than folklore:
   (:mod:`repro.analysis.sanitizer`, ``python -m repro <cmd> --sanitize``)
   runs an experiment twice under allocation perturbation and compares
   traces, reporting the first divergent event on mismatch.
+
+Simultaneity semantics (see DESIGN.md, "Simultaneity semantics"): events
+share an *instant* when they have equal virtual time.  Within an instant,
+events run in (priority, insertion) order — the **boundary lane**
+(:data:`BOUNDARY_PRIORITY`) models instantaneous state transitions (fault
+onset, soft-state expiry sweeps) that by contract apply *before* any
+same-instant traffic in the default lane; within one lane the tie-break
+is FIFO on scheduling order.  Events at equal ``(time, priority)`` form a
+*tie group*; the race detector (:mod:`repro.analysis.races`) observes and
+permutes tie groups through the hook installed by :func:`set_tie_hook`.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import heapq
 import itertools
 import math
 import random  # repro: allow[D002] - this module IS the seeded-RNG plumbing
+import sys
 from typing import Any, Callable
 
 #: Events per rolling-hash checkpoint in :class:`EventTrace`.  Checkpoints
 #: let the sanitizer localise a divergence to a ~256-event window without
 #: storing per-event state on the (cheap) first pass.
 TRACE_CHECKPOINT_INTERVAL = 256
+
+#: Default scheduling lane: ordinary traffic and timers.
+DEFAULT_PRIORITY = 0
+
+#: The boundary lane: state transitions that apply "at the start of the
+#: instant" — fault onset/revert, expiry sweeps, idle-connection reaping.
+#: Two events at the same virtual time but in different lanes are ordered
+#: by contract, not by scheduling accident, so they never form a tie group
+#: and the race detector does not treat their interleaving as a race.
+BOUNDARY_PRIORITY = -1
+
+#: Tombstone compaction floor: heaps smaller than this are never rebuilt
+#: (the scan would cost more than the tombstones do).
+_COMPACT_MIN_TOMBSTONES = 64
 
 
 def _describe_value(value: Any) -> str:
@@ -205,18 +231,97 @@ def set_observability(obs):
     return previous
 
 
+@dataclasses.dataclass(slots=True)
+class TieEvent:
+    """One not-yet-executed event of a tie group, as hooks see it."""
+
+    time: float
+    priority: int
+    seq: int
+    handle: "EventHandle"
+    callback: Callable[..., Any]
+    args: tuple
+    #: ``(filename, lineno)`` of the scheduling call site, captured only
+    #: while a tie hook is installed (provenance for race reports).
+    site: tuple[str, int] | None = None
+
+
+class _TieHookProtocol:
+    """What :func:`set_tie_hook` expects (duck-typed).
+
+    ``register(sim)`` is called once per simulator at construction, in
+    construction order.  ``on_group(sim, events)`` receives every tie
+    group (same virtual time, same priority lane) just before it executes
+    and may return a reordered list of the same events (or None to keep
+    FIFO order).  ``before_event``/``after_event`` bracket each executed
+    callback; ``end_group(sim)`` fires once the group has drained.
+    Cancellations performed *inside* a tie group are still honoured: a
+    cancelled member is skipped at execution time, not at grouping time.
+    """
+
+    def register(self, sim: "Simulator") -> None:  # pragma: no cover - protocol
+        raise NotImplementedError
+
+    def on_group(self, sim, events):  # pragma: no cover - protocol
+        return None
+
+    def before_event(self, sim, event) -> None:  # pragma: no cover - protocol
+        pass
+
+    def after_event(self, sim, event) -> None:  # pragma: no cover - protocol
+        pass
+
+    def end_group(self, sim) -> None:  # pragma: no cover - protocol
+        pass
+
+
+_active_tie_hook: _TieHookProtocol | None = None
+
+
+def set_tie_hook(hook: _TieHookProtocol | None) -> _TieHookProtocol | None:
+    """Install a process-wide tie-group hook; returns the previous one.
+
+    While a hook is installed, every newly constructed :class:`Simulator`
+    steps through tie groups (batches of same-time, same-priority events)
+    and reports them to the hook — the race detector's interference
+    sanitizer and schedule-permutation explorer plug in here.  With no
+    hook (the default) the event loop takes the ungrouped fast path and
+    the execution order is identical.
+    """
+    global _active_tie_hook
+    previous = _active_tie_hook
+    _active_tie_hook = hook
+    return previous
+
+
+def _caller_site() -> tuple[str, int] | None:
+    """(filename, lineno) of the nearest frame outside this module."""
+    frame = sys._getframe(1)
+    while frame is not None and frame.f_globals.get("__name__") == __name__:
+        frame = frame.f_back
+    if frame is None:
+        return None
+    return (frame.f_code.co_filename, frame.f_lineno)
+
+
 class EventHandle:
     """A cancellable reference to a scheduled event."""
 
-    __slots__ = ("time", "cancelled")
+    __slots__ = ("time", "cancelled", "_sim")
 
-    def __init__(self, time: float):
+    def __init__(self, time: float, sim: "Simulator | None" = None):
         self.time = time
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event's callback from running (idempotent)."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        sim = self._sim
+        if sim is not None:
+            sim._note_cancelled()
 
 
 class Simulator:
@@ -235,9 +340,23 @@ class Simulator:
         self.seed = seed
         self.rng = random.Random(seed)
         self._child_rngs: dict[str, random.Random] = {}
-        self._queue: list[tuple[float, int, EventHandle, Callable[..., Any], tuple]] = []
+        # heap entries: (time, priority, seq, handle, callback, args)
+        self._queue: list[
+            tuple[float, int, int, EventHandle, Callable[..., Any], tuple]
+        ] = []
         self._sequence = itertools.count()
         self._events_processed = 0
+        #: Cancelled entries still sitting in the heap (see _note_cancelled).
+        self._tombstones = 0
+        #: The tie group currently executing, as not-yet-run TieEvents.
+        self._tie_buffer: list[TieEvent] = []
+        self._group_open = False
+        #: seq -> scheduling call site, populated only while a tie hook is
+        #: installed (the frame walk is not free).
+        self._sites: dict[int, tuple[str, int] | None] = {}
+        self._tie_hook = _active_tie_hook
+        if self._tie_hook is not None:
+            self._tie_hook.register(self)
         #: Observability context attached to this simulator (see repro.obs).
         #: None in the common case; instrumentation sites gate on it.
         self.obs = None
@@ -280,48 +399,198 @@ class Simulator:
 
     # -- scheduling --------------------------------------------------------
 
-    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
-        """Run ``callback(*args)`` after ``delay`` seconds of virtual time."""
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = DEFAULT_PRIORITY,
+    ) -> EventHandle:
+        """Run ``callback(*args)`` after ``delay`` seconds of virtual time.
+
+        ``priority`` selects the lane within an instant; pass
+        :data:`BOUNDARY_PRIORITY` for state transitions that must apply
+        before same-instant default-lane traffic.
+        """
         if delay < 0:
             raise ValueError(f"cannot schedule {delay} seconds in the past")
-        return self.schedule_at(self.now + delay, callback, *args)
+        return self.schedule_at(self.now + delay, callback, *args, priority=priority)
 
-    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = DEFAULT_PRIORITY,
+    ) -> EventHandle:
         """Run ``callback(*args)`` at absolute virtual time ``time``."""
         if not math.isfinite(time):
             raise ValueError(f"cannot schedule at non-finite time {time!r}")
         if time < self.now:
             raise ValueError(f"cannot schedule at {time} before now={self.now}")
-        handle = EventHandle(time)
-        heapq.heappush(self._queue, (time, next(self._sequence), handle, callback, args))
+        handle = EventHandle(time, self)
+        seq = next(self._sequence)
+        if self._tie_hook is not None:
+            self._sites[seq] = _caller_site()
+        heapq.heappush(self._queue, (time, priority, seq, handle, callback, args))
         return handle
 
     # -- execution ---------------------------------------------------------
 
     def step(self) -> bool:
-        """Process one event.  Returns False when the queue is empty."""
-        while self._queue:
-            time, sequence, handle, callback, args = heapq.heappop(self._queue)
+        """Process one live event.  Returns False when the queue is empty."""
+        if self._tie_buffer and self._step_buffered():
+            return True
+        if self._tie_hook is None:
+            # Fast path: no grouping, no site bookkeeping — identical event
+            # order to the grouped path, minus the hook brackets.
+            while self._queue:
+                time, _priority, sequence, handle, callback, args = heapq.heappop(
+                    self._queue
+                )
+                if handle.cancelled:
+                    handle._sim = None
+                    self._tombstones -= 1
+                    continue
+                handle._sim = None
+                self.now = time
+                self._events_processed += 1
+                if self.trace is not None:
+                    self.trace.record(time, sequence, callback, args)
+                profiler = self.step_profiler
+                if profiler is None:
+                    callback(*args)
+                else:
+                    t0 = profiler.begin()
+                    callback(*args)
+                    profiler.record(
+                        callback, profiler.elapsed_since(t0), self.live_pending_events
+                    )
+                return True
+            return False
+        while self._pop_tie_group():
+            if self._step_buffered():
+                return True
+        return False
+
+    def _pop_tie_group(self) -> bool:
+        """Pop all live events at the next ``(time, priority)`` into the
+        tie buffer, offering the group to the hook.  Returns False when the
+        heap has no live events left."""
+        queue = self._queue
+        while queue:
+            time, priority, seq, handle, callback, args = heapq.heappop(queue)
+            site = self._sites.pop(seq, None)
+            handle._sim = None
             if handle.cancelled:
+                self._tombstones -= 1
                 continue
-            self.now = time
-            self._events_processed += 1
-            if self.trace is not None:
-                self.trace.record(time, sequence, callback, args)
-            profiler = self.step_profiler
-            if profiler is None:
-                callback(*args)
-            else:
-                t0 = profiler.begin()
-                callback(*args)
-                profiler.record(callback, profiler.elapsed_since(t0), len(self._queue))
+            group = [TieEvent(time, priority, seq, handle, callback, args, site)]
+            while queue and queue[0][0] == time and queue[0][1] == priority:
+                _, _, seq2, handle2, callback2, args2 = heapq.heappop(queue)
+                site2 = self._sites.pop(seq2, None)
+                handle2._sim = None
+                if handle2.cancelled:
+                    self._tombstones -= 1
+                    continue
+                group.append(
+                    TieEvent(time, priority, seq2, handle2, callback2, args2, site2)
+                )
+            hook = self._tie_hook
+            if hook is not None:
+                reordered = hook.on_group(self, group)
+                if reordered is not None:
+                    group = list(reordered)
+            self._tie_buffer = group
+            self._group_open = True
             return True
         return False
 
+    def _step_buffered(self) -> bool:
+        """Execute the next live event of the current tie group."""
+        buffer = self._tie_buffer
+        hook = self._tie_hook
+        while buffer:
+            event = buffer.pop(0)
+            if event.handle.cancelled:
+                # Cancelled by an earlier member of the same tie group:
+                # honoured exactly as if it were still in the heap.
+                continue
+            self.now = event.time
+            self._events_processed += 1
+            if self.trace is not None:
+                self.trace.record(event.time, event.seq, event.callback, event.args)
+            if hook is not None:
+                hook.before_event(self, event)
+            profiler = self.step_profiler
+            if profiler is None:
+                event.callback(*event.args)
+            else:
+                t0 = profiler.begin()
+                event.callback(*event.args)
+                profiler.record(
+                    event.callback,
+                    profiler.elapsed_since(t0),
+                    self.live_pending_events,
+                )
+            if hook is not None:
+                hook.after_event(self, event)
+            while buffer and buffer[0].handle.cancelled:
+                buffer.pop(0)
+            if not buffer:
+                self._close_group()
+            return True
+        self._close_group()
+        return False
+
+    def _close_group(self) -> None:
+        if not self._group_open:
+            return
+        self._group_open = False
+        hook = self._tie_hook
+        if hook is not None:
+            hook.end_group(self)
+
+    # -- heap hygiene ------------------------------------------------------
+
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`EventHandle.cancel` for handles still in the
+        heap; compacts once tombstones dominate the live entries."""
+        self._tombstones += 1
+        if (
+            self._tombstones > _COMPACT_MIN_TOMBSTONES
+            and self._tombstones * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled tombstones."""
+        live = []
+        for entry in self._queue:
+            handle = entry[3]
+            if handle.cancelled:
+                handle._sim = None
+                self._sites.pop(entry[2], None)
+            else:
+                live.append(entry)
+        heapq.heapify(live)
+        self._queue = live
+        self._tombstones = 0
+
     def _next_event_time(self) -> float | None:
         """Time of the next live event, discarding cancelled tombstones."""
-        while self._queue and self._queue[0][2].cancelled:
-            heapq.heappop(self._queue)
+        buffer = self._tie_buffer
+        if buffer:
+            while buffer and buffer[0].handle.cancelled:
+                buffer.pop(0)
+            if buffer:
+                return buffer[0].time
+            self._close_group()
+        while self._queue and self._queue[0][3].cancelled:
+            _, _, seq, handle, _, _ = heapq.heappop(self._queue)
+            handle._sim = None
+            self._tombstones -= 1
+            self._sites.pop(seq, None)
         return self._queue[0][0] if self._queue else None
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
@@ -354,4 +623,18 @@ class Simulator:
     @property
     def pending_events(self) -> int:
         """Events currently queued, including cancelled tombstones."""
-        return len(self._queue)
+        return len(self._queue) + len(self._tie_buffer)
+
+    @property
+    def live_pending_events(self) -> int:
+        """Queued events that will actually fire (tombstones excluded).
+
+        Prefer this over :attr:`pending_events` in reports and profiles:
+        the raw heap length overstates queue depth by however many
+        cancelled retransmission timers are still awaiting compaction.
+        """
+        live = len(self._queue) - self._tombstones
+        for event in self._tie_buffer:
+            if not event.handle.cancelled:
+                live += 1
+        return live

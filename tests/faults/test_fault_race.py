@@ -1,0 +1,79 @@
+"""Fault actions coinciding with guard timers: the simultaneity contract.
+
+Referenced by ``FaultAction.schedule`` (``src/repro/faults/plan.py``):
+fault actions run in the boundary priority lane, so a GuardCrash landing
+at the exact instant of a guard sweep shares one tie group with it — and
+must converge to the same post-instant state regardless of intra-group
+order, because ``crash()`` cancels the sweeper and cancellation is
+honoured inside a tie group.
+"""
+
+from repro.analysis.races import run_monitored
+from repro.dns import LrsSimulator
+from repro.experiments.testbed import ANS_ADDRESS, GuardTestbed
+from repro.faults import FaultPlan, GuardCrash
+
+
+def crash_at_sweep_instant(seed=0, *, downtime=0.4):
+    """A loaded testbed whose GuardCrash fires exactly at the t=1.0 sweep."""
+    bed = GuardTestbed(seed=seed, ans="simulator", ans_mode="referral")
+    client = bed.add_client("lrs")
+    lrs = LrsSimulator(client, ANS_ADDRESS, workload="referral", timeout=0.02)
+    plan = FaultPlan()
+    plan.add(1.0, GuardCrash(bed.guard, downtime=downtime))
+    plan.schedule(bed.sim)
+    return bed, lrs
+
+
+class TestCrashMeetsSweep:
+    def test_crash_at_sweep_instant_converges(self):
+        bed, lrs = crash_at_sweep_instant()
+        lrs.start()
+        bed.run(1.2)
+        # the instant resolved cleanly: guard down, soft state wiped, and
+        # no sweeper left alive on a crashed guard
+        assert bed.guard.down
+        assert bed.guard.pending_exchanges == 0
+        assert bed.guard._sweeper is None
+        bed.run(0.4)  # past restart at t=1.4
+        lrs.stop()
+        assert not bed.guard.down
+        assert bed.guard._sweeper is not None
+        assert bed.guard.stats()["crashes"] == 1
+
+    def test_crash_at_sweep_instant_is_race_free(self):
+        """The regression: before fault actions moved to the boundary lane,
+        a crash sharing an instant with packet deliveries or the sweep was
+        an insertion-order artifact; now the lane contract (and the
+        documented plan-order allowance) makes the monitored run clean."""
+
+        def scenario():
+            bed, lrs = crash_at_sweep_instant(seed=3)
+            lrs.start()
+            bed.run(2.0)
+            lrs.stop()
+
+        report = run_monitored(scenario)
+        assert report.multi_groups > 0  # the aligned instant really grouped
+        assert report.ok, report.summary()
+
+    def test_monitoring_does_not_change_outcome(self):
+        """W002 discipline: the grouped/instrumented path must leave the
+        scenario's observable results exactly as the fast path does."""
+
+        def outcome():
+            bed, lrs = crash_at_sweep_instant(seed=5)
+            lrs.start()
+            bed.run(2.0)
+            lrs.stop()
+            return (
+                lrs.stats.completed,
+                lrs.stats.timeouts,
+                bed.guard.stats()["crashes"],
+                bed.ans.requests_served,
+            )
+
+        plain = outcome()
+        monitored = []
+        run_monitored(lambda: monitored.append(outcome()))
+        assert monitored[0] == plain
