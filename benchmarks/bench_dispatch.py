@@ -1,0 +1,67 @@
+"""Event-dispatch micro-benchmark: events/s on the guarded flood workload.
+
+This is the measurement behind ``BENCH_profile.json`` (see ``python -m
+repro obs --bench-profile``): the P-rule first-wave fixes — ``__slots__``
+on per-event classes, interned names, memoized wire encodings, the
+AnsSimulator response/size caches and the route/address lookups — land
+here as raw simulator throughput.
+"""
+
+import pytest
+from conftest import record
+
+from repro import ANS_ADDRESS, GuardTestbed, LrsSimulator
+from repro.attack import SpoofingAttacker
+from repro.obs import Observability, installed
+
+#: Loose floor: the seed measured ~45K ev/s and the first fix wave ~58K on
+#: the reference container; anything under this means dispatch regressed
+#: catastrophically, not that the host is merely slow.
+MIN_EVENTS_PER_SECOND = 10_000
+
+
+def _run_profiled_flood(duration: float = 0.5):
+    obs = Observability(profile=True)
+    with installed(obs):
+        bed = GuardTestbed(seed=11, ans="simulator", ans_mode="answer")
+        resolver_node = bed.add_client("resolver", via_local_guard=True)
+        resolver = LrsSimulator(resolver_node, ANS_ADDRESS, workload="plain")
+        attacker = SpoofingAttacker(
+            bed.add_client("attacker"),
+            ANS_ADDRESS,
+            rate=5_000,
+            carry_invalid_cookie=True,
+        )
+        obs.tap(bed.guard_node, protocol="udp", max_records=40)
+        resolver.start()
+        attacker.start()
+        bed.run(duration)
+    obs.collect()
+    return obs.profiler
+
+
+@pytest.fixture(scope="module")
+def profiler():
+    return _run_profiled_flood()
+
+
+def test_dispatch_throughput(benchmark, profiler):
+    benchmark.pedantic(lambda: profiler, rounds=1, iterations=1)
+    lines = [
+        f"events handled     {profiler.events}",
+        f"events / second    {profiler.events_per_second():,.0f}",
+        f"max heap depth     {profiler.max_heap_depth}",
+        "",
+        "top handlers by wall time:",
+    ]
+    for key, stats in profiler.top_handlers(8):
+        lines.append(f"  {key:<58} {stats.calls:>7} {stats.seconds:>8.4f}s")
+    record("dispatch", "\n".join(lines))
+
+    assert profiler.events > 0
+    assert profiler.events_per_second() > MIN_EVENTS_PER_SECOND
+
+    # the satellite-3 profiler fix: tap wrappers must be attributed to the
+    # wrapped transmit, never to the tracer's closure qualname
+    assert not any(".<locals>." in key for key in profiler.handlers)
+    assert any(key.endswith("Link.transmit") for key in profiler.handlers)

@@ -5,8 +5,10 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== static analysis (lint + taint dataflow + FSM conformance + races) =="
-python -m repro.analysis --flow --races --baseline scripts/flow_baseline.json \
+echo "== static analysis (lint + taint dataflow + FSM conformance + races + perf) =="
+python -m repro.analysis --flow --races --perf \
+    --baseline scripts/flow_baseline.json \
+    --baseline scripts/perf_baseline.json \
     --sarif "${SARIF_OUT:-/dev/null}" src
 
 echo "== README rule table drift check =="

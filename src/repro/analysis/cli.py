@@ -1,12 +1,15 @@
-"""``python -m repro.analysis [--flow] [--races] [--sarif OUT] [paths...]``.
+"""``python -m repro.analysis [--flow] [--races] [--perf] [--sarif OUT] [paths...]``.
 
 Runs the determinism lint (and, with ``--flow``, the taint-dataflow and
 FSM-conformance analyses plus suppression hygiene; with ``--races``, the
-static simultaneity rules R001/R002) over the given paths (default:
-``src``) and exits nonzero on findings, so it slots directly into CI and
-pre-commit.  ``--sarif`` additionally writes the findings as a SARIF
-2.1.0 document for code-scanning upload; ``--rules-md`` /
-``--rules-md-check`` generate and drift-check the README rule table.
+static simultaneity rules R001/R002; with ``--perf``, the profile-guided
+hot-path cost rules P001–P006 weighted by ``--perf-profile``, default
+``BENCH_profile.json``) over the given paths (default: ``src``) and exits
+nonzero on findings, so it slots directly into CI and pre-commit.
+``--baseline`` (repeatable) accepts known-findings files; ``--sarif``
+additionally writes the findings as a SARIF 2.1.0 document for
+code-scanning upload; ``--rules-md`` / ``--rules-md-check`` generate and
+drift-check the README rule table.
 """
 
 from __future__ import annotations
@@ -27,6 +30,7 @@ RULES_MD_END = "<!-- rules:end -->"
 
 def _rule_table() -> str:
     from .flow.engine import flow_rule_table
+    from .perf.engine import perf_rule_table
     from .races.engine import race_rule_table
 
     lines = ["rule   summary", "-----  -------"]
@@ -34,12 +38,21 @@ def _rule_table() -> str:
         rule = RULES[rule_id]
         lines.append(f"{rule_id:<6} {rule.summary}")
         lines.append(f"       why: {rule.rationale}")
-    return "\n".join(lines) + "\n\n" + flow_rule_table() + "\n\n" + race_rule_table()
+    return (
+        "\n".join(lines)
+        + "\n\n"
+        + flow_rule_table()
+        + "\n\n"
+        + race_rule_table()
+        + "\n\n"
+        + perf_rule_table()
+    )
 
 
 def _rule_rows() -> list[tuple[str, str, str, str]]:
     """(id, family, summary, rationale) for every registered rule."""
     from .flow.engine import FLOW_RULES
+    from .perf.engine import PERF_RULES
     from .races.engine import RACE_RULES
 
     rows: list[tuple[str, str, str, str]] = []
@@ -55,12 +68,10 @@ def _rule_rows() -> list[tuple[str, str, str, str]]:
             "nothing can be checked in unparsable code",
         )
     )
-    for rule_id in sorted(FLOW_RULES):
-        rule = FLOW_RULES[rule_id]
-        rows.append((rule_id, rule.family, rule.summary, rule.rationale))
-    for rule_id in sorted(RACE_RULES):
-        rule = RACE_RULES[rule_id]
-        rows.append((rule_id, rule.family, rule.summary, rule.rationale))
+    for registry in (FLOW_RULES, RACE_RULES, PERF_RULES):
+        for rule_id in sorted(registry):
+            rule = registry[rule_id]
+            rows.append((rule_id, rule.family, rule.summary, rule.rationale))
     rows.sort(key=lambda row: row[0])
     return rows
 
@@ -89,14 +100,16 @@ def _replace_rules_block(text: str, block: str) -> str | None:
 
 def _split_rule_ids(
     raw: str,
-) -> tuple[list[str], list[str], list[str], list[str]]:
-    """Partition ``--rules`` into (lint, flow, race, unknown) rule ids."""
+) -> tuple[list[str], list[str], list[str], list[str], list[str]]:
+    """Partition ``--rules`` into (lint, flow, race, perf, unknown) ids."""
     from .flow.engine import FLOW_RULES
+    from .perf.engine import PERF_RULES
     from .races.engine import RACE_RULES
 
     lint_ids: list[str] = []
     flow_ids: list[str] = []
     race_ids: list[str] = []
+    perf_ids: list[str] = []
     unknown: list[str] = []
     for part in raw.split(","):
         rule_id = part.strip()
@@ -108,9 +121,11 @@ def _split_rule_ids(
             flow_ids.append(rule_id)
         elif rule_id in RACE_RULES:
             race_ids.append(rule_id)
+        elif rule_id in PERF_RULES:
+            perf_ids.append(rule_id)
         else:
             unknown.append(rule_id)
-    return lint_ids, flow_ids, race_ids, unknown
+    return lint_ids, flow_ids, race_ids, perf_ids, unknown
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -157,6 +172,23 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--perf",
+        action="store_true",
+        help=(
+            "also run the profile-guided hot-path cost rules (P001-P006) "
+            "over schedule-site callbacks and Node.receive reachability"
+        ),
+    )
+    parser.add_argument(
+        "--perf-profile",
+        metavar="FILE",
+        default="BENCH_profile.json",
+        help=(
+            "handler-timing profile weighting the perf rules (default: "
+            "BENCH_profile.json; a missing file just disables weighting)"
+        ),
+    )
+    parser.add_argument(
         "--sarif",
         metavar="OUT",
         default=None,
@@ -165,10 +197,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--baseline",
         metavar="FILE",
+        action="append",
         default=None,
         help=(
             "subtract the accepted-findings baseline; stale entries are "
-            "reported as U001"
+            "reported as U001 (repeatable: one file per rule family)"
         ),
     )
     parser.add_argument(
@@ -229,24 +262,27 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         return 0
 
-    lint_ids = flow_ids = race_ids = None
+    lint_ids = flow_ids = race_ids = perf_ids = None
     run_flow = args.flow
     run_races = args.races
+    run_perf = args.perf
     if args.rules:
-        lint_ids, flow_ids, race_ids, unknown = _split_rule_ids(args.rules)
+        lint_ids, flow_ids, race_ids, perf_ids, unknown = _split_rule_ids(args.rules)
         if unknown:
             print(
                 f"error: unknown rule ids: {', '.join(sorted(unknown))}",
                 file=sys.stderr,
             )
             return 2
-        # asking for a flow/race rule implies running that engine
+        # asking for a flow/race/perf rule implies running that engine
         run_flow = run_flow or bool(flow_ids)
         run_races = run_races or bool(race_ids)
+        run_perf = run_perf or bool(perf_ids)
 
     try:
-        if run_flow or run_races:
+        if run_flow or run_races or run_perf:
             from .flow.engine import FLOW_RULES, analyze_paths
+            from .perf.engine import PERF_RULES, analyze_perf
             from .races.engine import RACE_RULES, analyze_races
 
             tracker = SuppressionTracker()
@@ -259,25 +295,38 @@ def main(argv: list[str] | None = None) -> int:
                 findings.extend(
                     analyze_races(args.paths, rule_ids=race_ids, tracker=tracker)
                 )
+            if run_perf and (perf_ids is None or perf_ids):
+                findings.extend(
+                    analyze_perf(
+                        args.paths,
+                        rule_ids=perf_ids,
+                        tracker=tracker,
+                        profile=args.perf_profile,
+                    )
+                )
             known = (
-                set(RULES) | set(FLOW_RULES) | set(RACE_RULES) | {SYNTAX_ERROR_RULE}
+                set(RULES)
+                | set(FLOW_RULES)
+                | set(RACE_RULES)
+                | set(PERF_RULES)
+                | {SYNTAX_ERROR_RULE}
             )
             findings.extend(tracker.unused_findings(known))
         else:
             findings = lint_paths(args.paths, rule_ids=lint_ids)
-    except (FileNotFoundError, KeyError) as exc:
+    except (FileNotFoundError, KeyError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    if args.baseline:
+    for baseline_path in args.baseline or ():
         from .flow.baseline import apply_baseline, load_baseline
 
         try:
-            entries = load_baseline(args.baseline)
+            entries = load_baseline(baseline_path)
         except (OSError, ValueError, json.JSONDecodeError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        findings = apply_baseline(findings, entries, baseline_path=args.baseline)
+        findings = apply_baseline(findings, entries, baseline_path=baseline_path)
 
     findings.sort(key=Finding.sort_key)
     if args.sarif:

@@ -24,20 +24,16 @@ _TOOL_URI = "https://example.invalid/repro/analysis"  # repo-internal tool
 def _rule_meta() -> dict[str, tuple[str, str]]:
     """id -> (summary, rationale) across all engines, plus the metas."""
     from ..engine import SYNTAX_ERROR_RULE
+    from ..perf.engine import PERF_RULES
     from ..races.engine import RACE_RULES
     from ..rules import RULES
     from .engine import FLOW_RULES
 
     meta: dict[str, tuple[str, str]] = {}
-    for rule_id in sorted(RULES):
-        rule = RULES[rule_id]
-        meta[rule_id] = (rule.summary, rule.rationale)
-    for rule_id in sorted(FLOW_RULES):
-        rule = FLOW_RULES[rule_id]
-        meta[rule_id] = (rule.summary, rule.rationale)
-    for rule_id in sorted(RACE_RULES):
-        rule = RACE_RULES[rule_id]
-        meta[rule_id] = (rule.summary, rule.rationale)
+    for registry in (RULES, FLOW_RULES, RACE_RULES, PERF_RULES):
+        for rule_id in sorted(registry):
+            rule = registry[rule_id]
+            meta[rule_id] = (rule.summary, rule.rationale)
     meta.setdefault(
         SYNTAX_ERROR_RULE,
         ("file fails to parse", "nothing can be checked in unparsable code"),

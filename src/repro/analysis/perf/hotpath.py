@@ -1,0 +1,320 @@
+"""Hot-path inference: which functions run per-event, and how much they cost.
+
+The perf rules only fire inside the *hot set* — the transitive call-graph
+closure of the code that runs once per simulated event.  Hotness has two
+sources:
+
+* **static roots** — every callback the source tree passes to
+  ``Simulator.schedule`` / ``schedule_at`` / ``Cpu.submit`` (resolved with
+  the same self-attribute / subclass-closure / name-index machinery the
+  races layer uses), plus ``Node.receive``, the per-packet entry point
+  every link delivery funnels through;
+* **profile roots** — handler keys from ``BENCH_profile.json`` (written by
+  :mod:`repro.obs.profiler`), mapped back to static functions by their
+  module-qualified name.  The profile sees through indirection the static
+  pass cannot (``cpu.submit(cost, fn, *args)`` where ``fn`` is a
+  parameter), and its per-handler timings weight the findings.
+
+Propagation through callees is a *may* analysis: an ambiguous bare name
+(``demux`` is both ``UdpStack.demux`` and ``TcpStack.demux``) marks every
+candidate hot, bounded by :data:`_MAX_CANDIDATES` so hub names like
+``send`` or ``start`` do not drag the whole tree into the hot set.  The
+profile never gates hotness — repo runs and tests stay deterministic with
+or without a ``BENCH_profile.json`` on disk — it only enriches what the
+static closure already found.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import json
+from pathlib import Path
+
+from ..rules import dotted_name
+from ..flow.core import FunctionDecl, ModuleInfo, _call_name
+from ..races.effects import _lambda_as_function, _self_attr, _subclass_closure
+
+#: Scheduler entry points and their callback-argument index.  ``submit`` is
+#: the CPU-queue idiom ``cpu.submit(cost, fn, *args)``; all three take the
+#: callable second.
+CALLBACK_TAKERS: dict[str, int] = {"schedule": 1, "schedule_at": 1, "submit": 1}
+
+#: Functions that are per-packet entry points even when no schedule site
+#: resolves to them statically (link deliveries schedule ``receiver.receive``
+#: through a variable the static pass cannot see).
+ALWAYS_HOT_QUALNAMES = frozenset({"Node.receive"})
+
+#: Cross-module bare-name fan-out cap: a name with more candidates than
+#: this is a hub (``send``, ``start``, ``close``) and is left unresolved
+#: rather than marking half the tree hot.
+_MAX_CANDIDATES = 3
+
+#: Call-graph propagation depth cap (handler chains are shallow).
+_MAX_DEPTH = 12
+
+
+@dataclasses.dataclass(slots=True)
+class PerfProfile:
+    """Parsed ``BENCH_profile.json``: events/s plus per-handler timings."""
+
+    events_per_second: float
+    #: handler key (``module.Qualname``) -> (calls, seconds)
+    handlers: dict[str, tuple[int, float]]
+
+
+def load_profile(path: str | Path) -> PerfProfile | None:
+    """Parse a ``BENCH_*.json`` profile; ``None`` when the file is absent.
+
+    A present-but-malformed profile raises ``ValueError`` — silently
+    ignoring it would silently drop the weighting.
+    """
+    profile_path = Path(path)
+    if not profile_path.is_file():
+        return None
+    try:
+        doc = json.loads(profile_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"profile {path}: not valid JSON ({exc})") from exc
+    detail = doc.get("detail", doc) if isinstance(doc, dict) else None
+    if not isinstance(detail, dict) or not isinstance(detail.get("handlers"), dict):
+        raise ValueError(f"profile {path}: no detail.handlers table")
+    handlers: dict[str, tuple[int, float]] = {}
+    for key, stats in detail["handlers"].items():
+        if isinstance(stats, dict):
+            handlers[str(key)] = (
+                int(stats.get("calls", 0)),
+                float(stats.get("seconds", 0.0)),
+            )
+    return PerfProfile(
+        events_per_second=float(detail.get("events_per_second", 0.0)),
+        handlers=handlers,
+    )
+
+
+def module_dotted(path: str | Path) -> str:
+    """Dotted module name for a source path (``src/repro/a/b.py`` ->
+    ``repro.a.b``); tmp-dir toy modules fall back to their bare stem."""
+    parts = list(Path(path).parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    if "src" in parts:
+        parts = parts[len(parts) - parts[::-1].index("src"):]
+        return ".".join(parts)
+    return parts[-1] if parts else ""
+
+
+@dataclasses.dataclass(slots=True)
+class HotFunction:
+    """One function in the hot set and the evidence that put it there."""
+
+    module: ModuleInfo
+    decl: FunctionDecl
+    root: str  # qualname of the entry root this was reached from
+    depth: int  # call-graph hops from that root
+    calls: int = 0  # this function's own profile calls (0 if unmatched)
+    seconds: float = 0.0  # this function's own profile seconds
+    profiled: bool = False  # the root (or the function) appears in the profile
+
+    def describe(self) -> str:
+        """Stable hot-evidence label for finding messages.
+
+        Deliberately excludes the profile's call counts and timings: those
+        change every time the profile is regenerated, and finding messages
+        are baseline keys that must not churn with them.
+        """
+        via = "profiled hot path" if self.profiled else "hot path"
+        if self.depth == 0:
+            return f"{via} root {self.root}"
+        return f"{via} via {self.root}"
+
+
+class HotPaths:
+    """The hot set for one analysis run, keyed by ``(path, qualname)``."""
+
+    def __init__(
+        self,
+        functions: dict[tuple[str, str], HotFunction],
+        profile: PerfProfile | None,
+    ):
+        self.functions = functions
+        self.profile = profile
+
+    def get(self, path: str, qualname: str) -> HotFunction | None:
+        return self.functions.get((path, qualname))
+
+    def __len__(self) -> int:
+        return len(self.functions)
+
+    def weight_for(self, path: str, qualname: str) -> tuple[int, float]:
+        """(calls, seconds) attributed to one hot function by the profile."""
+        hot = self.get(path, qualname)
+        return (hot.calls, hot.seconds) if hot is not None else (0, 0.0)
+
+
+class _Resolver:
+    """Bare-name callee resolution with bounded may-analysis fan-out."""
+
+    def __init__(self, modules: list[ModuleInfo]):
+        self.by_bare: dict[str, list[tuple[ModuleInfo, FunctionDecl]]] = {}
+        for module in modules:
+            for qualname, decl in module.functions.items():
+                bare = qualname.rsplit(".", 1)[-1]
+                self.by_bare.setdefault(bare, []).append((module, decl))
+
+    def resolve(
+        self, module: ModuleInfo, enclosing_class: str | None, name: str
+    ) -> list[tuple[ModuleInfo, FunctionDecl]]:
+        bare = name.rsplit(".", 1)[-1]
+        if enclosing_class is not None:
+            own = module.functions.get(f"{enclosing_class}.{bare}")
+            if own is not None:
+                return [(module, own)]
+        local = module.function_named(bare)
+        if local is not None:
+            return [(module, local)]
+        foreign = [c for c in self.by_bare.get(bare, []) if c[0] is not module]
+        if 0 < len(foreign) <= _MAX_CANDIDATES:
+            return foreign
+        return []
+
+
+def _enclosing_class(qualname: str) -> str | None:
+    return qualname.split(".", 1)[0] if "." in qualname else None
+
+
+def callback_calls(node: ast.AST) -> list[ast.Call]:
+    """Scheduler calls (``schedule``/``schedule_at``/``submit``) under ``node``
+    that pass a callback positionally."""
+    sites: list[ast.Call] = []
+    for call in ast.walk(node):
+        if not isinstance(call, ast.Call):
+            continue
+        name = _call_name(call)
+        suffix = name.rsplit(".", 1)[-1]
+        if suffix in CALLBACK_TAKERS and len(call.args) > CALLBACK_TAKERS[suffix]:
+            sites.append(call)
+    return sites
+
+
+def _static_roots(
+    modules: list[ModuleInfo], resolver: _Resolver
+) -> list[tuple[ModuleInfo, FunctionDecl, str]]:
+    """(module, function, root label) for every statically-visible root."""
+    roots: list[tuple[ModuleInfo, FunctionDecl, str]] = []
+
+    def add_resolved(
+        module: ModuleInfo, enclosing: str | None, callback: ast.expr
+    ) -> None:
+        attr = _self_attr(callback)
+        if attr is not None and enclosing is not None:
+            closure = closures.get(module.path, {})
+            for class_name in sorted(closure.get(enclosing, {enclosing})):
+                qualname = f"{class_name}.{attr}"
+                decl = module.functions.get(qualname)
+                if decl is not None:
+                    roots.append((module, decl, qualname))
+            return
+        name = dotted_name(callback)
+        if name is None:
+            return
+        for target_module, target_decl in resolver.resolve(module, None, name):
+            roots.append((target_module, target_decl, target_decl.qualname))
+
+    closures = {m.path: _subclass_closure(m) for m in modules}
+    for module in modules:
+        for decl in module.functions.values():
+            enclosing = _enclosing_class(decl.qualname)
+            for site in callback_calls(decl.node):
+                suffix = _call_name(site).rsplit(".", 1)[-1]
+                callback = site.args[CALLBACK_TAKERS[suffix]]
+                if isinstance(callback, ast.Lambda):
+                    # the lambda body runs per event: everything it calls
+                    # is a root (the closure itself is P003's business)
+                    wrapper = _lambda_as_function(callback)
+                    for inner in ast.walk(wrapper):
+                        if isinstance(inner, ast.Call):
+                            add_resolved(module, enclosing, inner.func)
+                    continue
+                add_resolved(module, enclosing, callback)
+        for qualname in ALWAYS_HOT_QUALNAMES:
+            decl = module.functions.get(qualname)
+            if decl is not None:
+                roots.append((module, decl, qualname))
+    return roots
+
+
+def _profile_roots(
+    modules: list[ModuleInfo], profile: PerfProfile
+) -> list[tuple[ModuleInfo, FunctionDecl, str, int, float]]:
+    """Profile handler keys matched back to static functions."""
+    by_key: dict[str, tuple[ModuleInfo, FunctionDecl]] = {}
+    for module in modules:
+        dotted = module_dotted(module.path)
+        for qualname, decl in module.functions.items():
+            by_key[f"{dotted}.{qualname}"] = (module, decl)
+    matched: list[tuple[ModuleInfo, FunctionDecl, str, int, float]] = []
+    for key, (calls, seconds) in sorted(profile.handlers.items()):
+        hit = by_key.get(key)
+        if hit is not None:
+            matched.append((hit[0], hit[1], hit[1].qualname, calls, seconds))
+    return matched
+
+
+def compute_hot_paths(
+    modules: list[ModuleInfo], profile: PerfProfile | None = None
+) -> HotPaths:
+    """The hot set: static + profile roots, closed over resolvable callees."""
+    resolver = _Resolver(modules)
+    hot: dict[tuple[str, str], HotFunction] = {}
+    worklist: list[tuple[str, str]] = []
+
+    def admit(
+        module: ModuleInfo,
+        decl: FunctionDecl,
+        root: str,
+        depth: int,
+        profiled: bool,
+    ) -> None:
+        key = (module.path, decl.qualname)
+        existing = hot.get(key)
+        if existing is not None:
+            # keep the shortest path; a profiled root upgrades the label
+            if profiled and not existing.profiled:
+                existing.profiled = True
+            if depth >= existing.depth:
+                return
+            existing.root, existing.depth = root, depth
+            return
+        hot[key] = HotFunction(
+            module=module, decl=decl, root=root, depth=depth, profiled=profiled
+        )
+        worklist.append(key)
+
+    for module, decl, label in _static_roots(modules, resolver):
+        admit(module, decl, label, 0, False)
+    if profile is not None:
+        for module, decl, label, calls, seconds in _profile_roots(modules, profile):
+            admit(module, decl, label, 0, True)
+            entry = hot[(module.path, decl.qualname)]
+            entry.calls, entry.seconds = calls, seconds
+
+    while worklist:
+        key = worklist.pop()
+        entry = hot[key]
+        if entry.depth >= _MAX_DEPTH:
+            continue
+        enclosing = _enclosing_class(entry.decl.qualname)
+        callees: set[str] = set()
+        for node in ast.walk(entry.decl.node):
+            if isinstance(node, ast.Call):
+                name = _call_name(node)
+                if name:
+                    callees.add(name)
+        for name in sorted(callees):
+            for module, decl in resolver.resolve(entry.module, enclosing, name):
+                admit(module, decl, entry.root, entry.depth + 1, entry.profiled)
+
+    return HotPaths(hot, profile)

@@ -9,7 +9,7 @@ from ..dnswire import DecodeError, Message
 
 def frame(message: Message) -> bytes:
     """Serialise a message with its TCP length prefix."""
-    wire = message.encode()
+    wire = message.encode()  # repro: allow[P002] single unavoidable serialisation per stream write; frozen messages hit the memoized wire
     if len(wire) > 0xFFFF:
         raise ValueError("DNS message too large for TCP framing")
     return struct.pack("!H", len(wire)) + wire
@@ -17,6 +17,8 @@ def frame(message: Message) -> bytes:
 
 class StreamFramer:
     """Incremental de-framer: feed stream bytes, collect whole messages."""
+
+    __slots__ = ("_buffer",)
 
     def __init__(self) -> None:
         self._buffer = bytearray()

@@ -199,7 +199,7 @@ class LocalRecursiveServer:
     def rank_servers(self, servers: list[IPv4Address]) -> list[IPv4Address]:
         """Order candidate servers fastest-first; untried servers lead so
         the resolver gathers an estimate for every address."""
-        return sorted(servers, key=lambda ip: self._srtt.get(ip, -1.0))
+        return sorted(servers, key=lambda ip: self._srtt.get(ip, -1.0))  # repro: allow[P005] candidate set is the NS RRset of one cut (a handful); ordering is the BIND selection semantics
 
     def note_rtt(self, server: IPv4Address, rtt: float) -> None:
         previous = self._srtt.get(server)
@@ -224,6 +224,24 @@ class LocalRecursiveServer:
 
 class _Resolution:
     """State machine for one in-flight resolution."""
+
+    __slots__ = (
+        "resolver",
+        "qname",
+        "qtype",
+        "callback",
+        "depth",
+        "started_at",
+        "steps",
+        "cname_links",
+        "queries_sent",
+        "attempts",
+        "done",
+        "current_cut",
+        "_timer",
+        "_socket",
+        "span",
+    )
 
     def __init__(
         self,
@@ -463,7 +481,7 @@ class _Resolution:
         """RFC 2308: cache NXDOMAIN for min(SOA TTL, SOA minimum)."""
         from ..dnswire import SOA
 
-        for rr in response.authorities:
+        for rr in response.authorities:  # repro: allow[P005] scans one short message section for the SOA
             if rr.rtype == RRType.SOA and isinstance(rr.rdata, SOA):
                 ttl = min(rr.ttl, rr.rdata.minimum)
                 self.resolver.cache.put_negative(self.qname, self.qtype, ttl, now)
@@ -482,9 +500,6 @@ class _Resolution:
         msg_id = self.resolver.msg_id()
         query = make_query(self.qname, self.qtype, msg_id=msg_id)
         framer = StreamFramer()
-        fallback_timer = node.sim.schedule(
-            self.resolver.timeout * 3, lambda: (conn.abort(), self.finish("timeout"))
-        )
 
         # a tight retransmission budget (3 tries ≈ 1.75 s of backoff) makes
         # a dead or blackholed TCP server abort the connection well before
@@ -516,6 +531,9 @@ class _Resolution:
                     fallback_span.finish(outcome="error")
                 self.finish("servfail")
 
+        # connect first so the fallback deadline can take the bound method
+        # and its argument instead of a per-event closure (P003); the TCP
+        # callbacks cannot fire before this function returns
         conn = node.tcp.connect(
             server,
             53,
@@ -524,6 +542,13 @@ class _Resolution:
             on_close=on_close,
             max_retransmits=tcp_retries,
         )
+        fallback_timer = node.sim.schedule(
+            self.resolver.timeout * 3, self._tcp_fallback_fail, conn
+        )
+
+    def _tcp_fallback_fail(self, conn: TcpConnection) -> None:
+        conn.abort()
+        self.finish("timeout")
 
     # -- helpers -----------------------------------------------------------------
 

@@ -82,6 +82,11 @@ class Message:
     answers: list[ResourceRecord] = dataclasses.field(default_factory=list)
     authorities: list[ResourceRecord] = dataclasses.field(default_factory=list)
     additionals: list[ResourceRecord] = dataclasses.field(default_factory=list)
+    #: memoized compressed wire form, set by :meth:`freeze` — the message
+    #: must not be mutated after freezing (never part of equality/repr)
+    _wire: bytes | None = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
 
     # -- inspection --------------------------------------------------------
 
@@ -119,7 +124,10 @@ class Message:
         are emptied and the TC bit is set — this is the RFC 1035 truncation
         signal that redirects requesters to TCP.
         """
-        wire = self._encode_once(compress)
+        if compress and self._wire is not None:
+            wire = self._wire
+        else:
+            wire = self._encode_once(compress)
         if max_size is not None and len(wire) > max_size:
             truncated = Message(
                 header=dataclasses.replace(self.header, tc=True),
@@ -127,6 +135,17 @@ class Message:
             )
             wire = truncated._encode_once(compress)
         return wire
+
+    def freeze(self) -> "Message":
+        """Memoize the compressed wire form; further mutation is a bug.
+
+        Per-packet paths build many identical messages (attack templates,
+        per-qname responses); freezing once turns every later
+        :meth:`encode` / :meth:`wire_size` into a cached lookup.
+        """
+        if self._wire is None:
+            self._wire = self._encode_once(True)
+        return self
 
     def _encode_once(self, compress: bool) -> bytes:
         header = dataclasses.replace(
@@ -163,6 +182,8 @@ class Message:
 
     def wire_size(self) -> int:
         """Size of the encoded message in bytes (with compression)."""
+        if self._wire is not None:
+            return len(self._wire)
         return len(self.encode())
 
     def __str__(self) -> str:

@@ -17,6 +17,13 @@ from .types import MAX_LABEL_LENGTH, MAX_NAME_LENGTH
 
 _POINTER_MASK = 0xC0
 
+#: Bounded intern table for :meth:`Name.from_text`.  Workloads parse the
+#: same handful of presentation-format names once per event; interning
+#: makes the repeat parse a dict hit.  The cap bounds memory against
+#: adversarial inputs (e.g. a label sprayer feeding fresh names forever).
+_INTERN_LIMIT = 4096
+_interned: dict[str, "Name"] = {}
+
 
 class Name:
     """An immutable, case-preserving DNS domain name."""
@@ -46,13 +53,27 @@ class Name:
 
     @classmethod
     def from_text(cls, text: str) -> "Name":
-        """Parse a presentation-format name such as ``"www.foo.com."``."""
-        text = text.strip()
-        if text in ("", "."):
-            return cls(())
-        if text.endswith("."):
-            text = text[:-1]
-        return cls(part.encode("ascii") for part in text.split("."))
+        """Parse a presentation-format name such as ``"www.foo.com."``.
+
+        Results are interned (case-preserving, keyed by the exact text) so
+        hot paths parsing the same names repeatedly share one immutable
+        :class:`Name` instead of re-tokenising.
+        """
+        cached = _interned.get(text)
+        if cached is not None:
+            return cached
+        stripped = text.strip()
+        if stripped in ("", "."):
+            name = cls(())
+        else:
+            if stripped.endswith("."):
+                stripped = stripped[:-1]
+            name = cls(part.encode("ascii") for part in stripped.split("."))
+        if cls is Name:  # never intern subclasses under the base table
+            if len(_interned) >= _INTERN_LIMIT:
+                _interned.clear()
+            _interned[text] = name
+        return name
 
     @classmethod
     def root(cls) -> "Name":

@@ -34,6 +34,8 @@ def register(rtype: int):
 class Rdata:
     """Base class for typed RDATA."""
 
+    __slots__ = ()
+
     rtype: ClassVar[int]
 
     def encode(self, buffer: bytearray, offsets: dict[Name, int] | None) -> None:
@@ -137,15 +139,21 @@ class _SingleName(Rdata):
 class NS(_SingleName):
     """Name-server record — the vehicle for the NS-name cookie scheme."""
 
+    __slots__ = ()
+
 
 @register(RRType.CNAME)
 class CNAME(_SingleName):
     """Canonical-name alias record."""
 
+    __slots__ = ()
+
 
 @register(RRType.PTR)
 class PTR(_SingleName):
     """Pointer record (reverse lookups)."""
+
+    __slots__ = ()
 
 
 @register(RRType.MX)

@@ -80,6 +80,8 @@ class TopRequesterTracker:
     source with true count > N/capacity is present in the table.
     """
 
+    __slots__ = ("capacity", "_counts", "total")
+
     def __init__(self, capacity: int = 1024):
         if capacity <= 0:
             raise ValueError("capacity must be positive")
@@ -209,6 +211,8 @@ class RateEstimator:
     when the offered load exceeds the protected server's capacity (§IV.C
     enables it at 14K req/s).
     """
+
+    __slots__ = ("window", "_count", "_window_start", "_last_rate")
 
     def __init__(self, window: float = 0.1):
         if window <= 0:

@@ -44,7 +44,7 @@ Match = Callable[[Packet], bool]
 Target = Callable[[Packet], Verdict]
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class Rule:
     """One chain entry: a match predicate plus a verdict or callable target."""
 
@@ -87,7 +87,7 @@ class Chain:
         return rule
 
     def evaluate(self, packet: Packet) -> Verdict:
-        for rule in self.rules:
+        for rule in self.rules:  # repro: allow[P005] ordered first-match traversal is the netfilter chain contract
             verdict = rule.evaluate(packet)
             if verdict is not None:
                 return verdict

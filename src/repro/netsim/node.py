@@ -38,10 +38,15 @@ class Node:
         self.name = name
         self.cpu = Cpu(sim, speed=cpu_speed, queue_limit=cpu_queue_limit)
         self.addresses: list[IPv4Address] = []
+        #: set mirror of ``addresses`` — O(1) ownership tests per packet
+        self._address_set: set[IPv4Address] = set()
         self.intercept_subnets: list[IPv4Network] = []
         self.links: list[Link] = []
         self.routes: list[tuple[IPv4Network, Link]] = []
         self.default_route: Link | None = None
+        #: per-destination route memo, invalidated on any table change and
+        #: bounded so spoofed-destination floods cannot grow it unchecked
+        self._route_cache: dict[IPv4Address, Link | None] = {}
         #: CPU-seconds charged per packet forwarded in transit (routers).
         self.forward_cost = forward_cost
         #: Middlebox hook: packet in transit -> "forward" | "deliver" | "drop".
@@ -66,6 +71,7 @@ class Node:
         if isinstance(address, str):
             address = IPv4Address(address)
         self.addresses.append(address)
+        self._address_set.add(address)
         return address
 
     @property
@@ -83,13 +89,16 @@ class Node:
 
     def attach(self, link: Link) -> None:
         self.links.append(link)
+        self._route_cache.clear()
 
     def add_route(self, subnet: IPv4Network | str, link: Link) -> None:
         if isinstance(subnet, str):
             subnet = IPv4Network(subnet)
         self.routes.append((subnet, link))
-        # longest prefix first
-        self.routes.sort(key=lambda item: item[0].prefixlen, reverse=True)
+        # longest prefix first; a config-time sort, not the per-packet path
+        # (the per-packet lookup memoizes through _route_cache)
+        self.routes.sort(key=lambda item: item[0].prefixlen, reverse=True)  # repro: allow[P005] route-table mutation is config/failover-time; per-packet lookups hit _route_cache
+        self._route_cache.clear()
 
     def replace_route(self, subnet: IPv4Network | str, link: Link) -> None:
         """Repoint the route for exactly ``subnet`` at ``link`` (failover)."""
@@ -100,6 +109,7 @@ class Node:
 
     def set_default_route(self, link: Link) -> None:
         self.default_route = link
+        self._route_cache.clear()
 
     @property
     def filters(self):
@@ -122,7 +132,7 @@ class Node:
 
     def owns(self, address: IPv4Address) -> bool:
         """True if packets to ``address`` should be delivered locally."""
-        if address in self.addresses:
+        if address in self._address_set:
             return True
         return any(address in subnet for subnet in self.intercept_subnets)
 
@@ -188,7 +198,17 @@ class Node:
         link.transmit(packet, self)
 
     def route_for(self, dst: IPv4Address) -> Link | None:
-        for subnet, link in self.routes:
+        cache = self._route_cache
+        if dst in cache:
+            return cache[dst]
+        link = self._route_for_uncached(dst)
+        if len(cache) > 4096:
+            cache.clear()
+        cache[dst] = link
+        return link
+
+    def _route_for_uncached(self, dst: IPv4Address) -> Link | None:
+        for subnet, link in self.routes:  # repro: allow[P005] cache-miss slow path — per-packet lookups are memoized in _route_cache
             if dst in subnet:
                 return link
         if self.default_route is not None:

@@ -113,6 +113,39 @@ class Listener:
 class TcpConnection:
     """One reliable byte-stream connection."""
 
+    # SYN floods create one of these per spoofed segment; __slots__ keeps
+    # the per-connection footprint flat (P001)
+    __slots__ = (
+        "stack",
+        "local_ip",
+        "local_port",
+        "remote_ip",
+        "remote_port",
+        "state",
+        "iss",
+        "snd_una",
+        "snd_nxt",
+        "rcv_nxt",
+        "opened_at",
+        "established_at",
+        "rtt",
+        "rto",
+        "max_retransmits",
+        "aborted_by_retries",
+        "_send_buffer",
+        "_inflight",
+        "_retransmit_handle",
+        "_retransmits",
+        "_fin_queued",
+        "_fin_sent",
+        "bytes_sent",
+        "bytes_received",
+        "segments_sent",
+        "on_established",
+        "on_data",
+        "on_close",
+    )
+
     def __init__(
         self,
         stack: "TcpStack",

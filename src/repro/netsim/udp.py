@@ -27,6 +27,10 @@ UdpHandler = Callable[[Message | bytes, IPv4Address, int, IPv4Address], None]
 class UdpSocket:
     """A bound UDP socket."""
 
+    # ephemeral sockets are created per interaction on the load-generator
+    # hot path; __slots__ keeps them __dict__-free (P001)
+    __slots__ = ("stack", "ip", "port", "handler", "closed")
+
     def __init__(self, stack: "UdpStack", ip: IPv4Address | None, port: int, handler: UdpHandler):
         self.stack = stack
         self.ip = ip

@@ -23,9 +23,17 @@ def _callable_key(callback) -> str:
     """Stable attribution label for an event callback.
 
     Bound methods of different instances collapse onto one underlying
-    function; partials and lambdas fall back to their repr-ish name.
+    function; wrappers advertising ``__wrapped__`` (packet-tracer taps,
+    ``functools.wraps`` decorators) are unwound so the time lands on the
+    callable actually doing the work, not the closure around it; partials
+    and lambdas fall back to their repr-ish name.
     """
     func = getattr(callback, "__func__", callback)
+    for _ in range(8):  # bounded: a pathological cycle must not hang us
+        wrapped = getattr(func, "__wrapped__", None)
+        if wrapped is None:
+            break
+        func = getattr(wrapped, "__func__", wrapped)
     qualname = getattr(func, "__qualname__", None)
     if qualname is None:
         qualname = getattr(func, "__name__", repr(func))
@@ -117,14 +125,49 @@ class WallClockProfiler:
         return "\n".join(lines)
 
 
-def write_bench_profile(profiler: WallClockProfiler, path: str) -> dict:
-    """Write the profiler snapshot as a ``BENCH_*.json`` document."""
+def write_bench_profile(
+    profiler: WallClockProfiler, path: str, *, date: str | None = None
+) -> dict:
+    """Write the profiler snapshot as a ``BENCH_*.json`` document.
+
+    An existing document's ``trajectory`` is preserved and the new run is
+    appended to it as a dated before/after history, so regenerating the
+    profile never erases the record of what optimisation work bought.
+    """
     doc = {
         "benchmark": "simulator-event-loop",
         "unit": "events/sec",
         "value": profiler.events_per_second(),
         "detail": profiler.snapshot(),
     }
+    if date is None:
+        # host date on a host-time measurement — same exception as the
+        # profiler's own clock reads; never feeds back into simulation
+        date = time.strftime("%Y-%m-%d")
+    trajectory: list[dict] = []
+    try:
+        with open(path, encoding="utf-8") as fh:
+            previous = json.load(fh)
+    except (OSError, ValueError):
+        previous = None
+    if isinstance(previous, dict):
+        recorded = previous.get("trajectory")
+        if isinstance(recorded, list):
+            trajectory = list(recorded)
+        elif "value" in previous:
+            # migrate a pre-trajectory document: keep its headline number
+            trajectory.append(
+                {"date": "(before trajectory tracking)",
+                 "events_per_second": previous["value"]}
+            )
+    trajectory.append(
+        {
+            "date": date,
+            "events_per_second": doc["value"],
+            "events": profiler.events,
+        }
+    )
+    doc["trajectory"] = trajectory
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(doc, fh, indent=2, sort_keys=True)
         fh.write("\n")
