@@ -30,6 +30,11 @@ python -m repro faults --fast --races
 python -m repro table1 --fast --explore 25
 python -m repro table2 --explore 5
 
+echo "== adaptive-control smoke (sanitized, with and without the controller) =="
+python -m repro control --fast --static-only --sanitize
+python -m repro control --fast --sanitize
+python -m repro control --fast --races --bench "$(mktemp -u).json"
+
 echo "== observability smoke (obs showcase + obs-on/off trace parity) =="
 python -m repro obs --fast > /dev/null
 trace_off=$(python -m repro table2 --sanitize | tail -n 1)

@@ -196,6 +196,28 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_control(args: argparse.Namespace) -> int:
+    from repro.experiments.control import (
+        format_control,
+        run_control,
+        write_bench_control,
+    )
+
+    if getattr(args, "static_only", False):
+        # controller-off smoke: only the static cells run — used by
+        # check.sh to sanitize a matrix in which no controller exists
+        result = run_control(
+            seed=args.seed, fast=args.fast, schemes=("modified", "ns_name", "tcp")
+        )
+    else:
+        result = run_control(seed=args.seed, fast=args.fast)
+    print(format_control(result))
+    if getattr(args, "bench", None):
+        write_bench_control(result, args.bench)
+        print(f"wrote {args.bench}")
+    return 0
+
+
 def _cmd_fluid(args: argparse.Namespace) -> int:
     from repro.experiments.fluid import format_predictions
 
@@ -272,6 +294,10 @@ _COMMANDS = {
         _cmd_faults,
         "Fault injection: blackout/flap/loss/chaos/restart/failover per scheme",
     ),
+    "control": (
+        _cmd_control,
+        "Adaptive overload control vs static schemes across attacks × faults",
+    ),
     "fluid": (_cmd_fluid, "Analytical model predictions"),
     "report": (_cmd_report, "Assemble benchmarks/results into REPORT.md"),
     "sensitivity": (
@@ -339,6 +365,20 @@ def main(argv: list[str] | None = None) -> int:
                 default=None,
                 help="write the event-loop profile as a BENCH_*.json document "
                 "(events/sec trajectory; e.g. BENCH_profile.json)",
+            )
+        if name == "control":
+            sub.add_argument(
+                "--bench",
+                metavar="PATH",
+                default=None,
+                help="append this run's headline numbers to a dated "
+                "BENCH_control.json trajectory",
+            )
+            sub.add_argument(
+                "--static-only",
+                action="store_true",
+                help="run only the static-scheme cells (no controller "
+                "constructed) — the sanitize-parity smoke configuration",
             )
     args = parser.parse_args(argv)
     handler, _ = _COMMANDS[args.command]

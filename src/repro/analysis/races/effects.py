@@ -82,6 +82,9 @@ REQUIRED_DECLARATIONS: tuple[str, ...] = (
     str(Path("guard") / "tcp_scheme.py"),
     str(Path("guard") / "ratelimit.py"),
     str(Path("faults") / "plan.py"),
+    str(Path("control") / "controller.py"),
+    str(Path("control") / "actuators.py"),
+    str(Path("control") / "signals.py"),
 )
 
 

@@ -381,16 +381,36 @@ class NoFloatTimeEquality(LintRule):
 
 _OBS_FORBIDDEN_CALLS = {"schedule", "schedule_at", "child_rng"}
 
+#: Mutating guard/limiter entry points — the *actuator seam*.  Only the
+#: control plane (``repro.control``) may call these; a signal callback in
+#: ``repro/obs/`` reaching for one turns observation into participation.
+_ACTUATOR_ENTRY_POINTS = frozenset(
+    {
+        "set_policy",
+        "set_admission",
+        "rotate_cookie_key",
+        "reconfigure",
+        "rotate",
+        "crash",
+        "restart",
+        "reset",
+    }
+)
+
 
 @register
 class ObserveOnly(LintRule):
     id = "W002"
-    summary = "repro.obs must never schedule events or touch Simulator.rng"
+    summary = (
+        "repro.obs must never schedule events, touch Simulator.rng, or call "
+        "guard actuators"
+    )
     rationale = (
-        "the observability layer is a read-only tap: if it schedules events "
-        "or draws randomness, enabling it changes the event trace and every "
-        "--sanitize parity guarantee breaks; obs code may only read "
-        "simulator state"
+        "the observability layer is a read-only tap: if it schedules events, "
+        "draws randomness, or calls a mutating guard/limiter entry point "
+        "(the actuator seam reserved for repro.control), enabling it changes "
+        "the event trace and every --sanitize parity guarantee breaks; obs "
+        "code may only read simulator state"
     )
 
     @staticmethod
@@ -412,6 +432,18 @@ class ObserveOnly(LintRule):
                         node,
                         f".{func.attr}() call in observability code — obs must "
                         "never schedule events or derive RNG streams",
+                    )
+                elif (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _ACTUATOR_ENTRY_POINTS
+                ):
+                    yield self.finding(
+                        path,
+                        node,
+                        f".{func.attr}() call in observability code — mutating "
+                        "guard/limiter entry points are the control plane's "
+                        "actuator seam (repro.control); observation must not "
+                        "participate",
                     )
             elif isinstance(node, ast.Attribute) and node.attr == "rng":
                 yield self.finding(

@@ -1,0 +1,34 @@
+"""Adaptive overload control plane for the DNS guard (ROADMAP item 5).
+
+Closes the loop the paper leaves open: §IV.C contrasts an overloaded
+BIND dropping requests blindly with a guard that sheds *spoofed* load —
+this package watches the guard's overload signals and escalates the
+cheapest sufficient defence (scheme fallback, limiter tightening,
+priority-aware admission, key rotation), de-escalates with hysteresis,
+and fails safe back to the static configuration when anything goes
+wrong.  See DESIGN.md "Overload & degradation model".
+"""
+
+from .actuators import (
+    Actuator,
+    AdmissionActuator,
+    KeyRotationActuator,
+    RateLimitActuator,
+    SchemeActuator,
+    default_actuators,
+)
+from .controller import ControlConfig, GuardController
+from .signals import SignalReader, SignalSnapshot
+
+__all__ = [
+    "Actuator",
+    "AdmissionActuator",
+    "ControlConfig",
+    "GuardController",
+    "KeyRotationActuator",
+    "RateLimitActuator",
+    "SchemeActuator",
+    "SignalReader",
+    "SignalSnapshot",
+    "default_actuators",
+]

@@ -1,0 +1,124 @@
+"""Overload signals for the control plane: pure reads, windowed deltas.
+
+The controller must observe without participating: every signal here is
+derived from monotone counters (guard decision counts, limiter denials,
+CPU accounting, TCP stale/cookie-failure totals) by differencing two
+snapshots across the sweep interval.  Nothing in this module mutates
+simulation state — in particular the offered rate is computed from the
+``queries_seen`` delta rather than :meth:`RateEstimator.rate_now`, which
+advances the estimator's window and would therefore race with the guard's
+own activation decision.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..guard.pipeline import RemoteDnsGuard
+
+#: Shared-state declaration for the race analyser: the reader's snapshot
+#: fields are rewritten wholesale on every boundary-lane sweep.
+__shared_state__ = {
+    "SignalReader": {
+        "guarded": [
+            "_last_time",
+            "_busy_at_last",
+            "_counters_at_last",
+        ],
+    },
+}
+
+#: Counter attributes differenced per interval: ``(owner, attribute)``
+#: where owner is ``"guard"``, ``"cpu"`` or ``"tcp"``.
+_COUNTER_SOURCES: tuple[tuple[str, str], ...] = (
+    ("guard", "queries_seen"),
+    ("guard", "invalid_drops"),
+    ("guard", "rl1_drops"),
+    ("guard", "rl2_drops"),
+    ("guard", "overload_drops"),
+    ("guard", "admission_shed"),
+    ("cpu", "jobs_dropped"),
+    ("cpu", "work_dropped_seconds"),
+    ("tcp", "cookie_failures"),
+    ("tcp", "stale_segments"),
+)
+
+
+@dataclasses.dataclass(slots=True)
+class SignalSnapshot:
+    """One sweep's view of the guard, all rates in events/second."""
+
+    time: float
+    interval: float
+    cpu_utilization: float
+    offered_rate: float
+    cookie_failure_rate: float
+    rl1_denial_rate: float
+    rl2_denial_rate: float
+    queue_drop_rate: float
+    work_dropped_rate: float  # CPU-seconds burned discarding, per second
+    admission_shed_rate: float
+    stale_segment_rate: float
+
+
+class SignalReader:
+    """Windowed-delta sampler over one guard's observable counters."""
+
+    def __init__(self, guard: "RemoteDnsGuard"):
+        self.guard = guard
+        self._last_time = guard.node.sim.now
+        self._busy_at_last = guard.node.cpu.completed_busy_seconds()
+        self._counters_at_last = self._read_counters()
+
+    def _read_counters(self) -> dict[tuple[str, str], float]:
+        owners = {
+            "guard": self.guard,
+            "cpu": self.guard.node.cpu,
+            "tcp": self.guard.node.tcp,
+        }
+        return {
+            (owner, attr): float(getattr(owners[owner], attr))
+            for owner, attr in _COUNTER_SOURCES
+        }
+
+    def rebase(self) -> None:
+        """Forget history (after a crash/revert) so the next sample does
+        not blame the new configuration for the old one's backlog."""
+        self._last_time = self.guard.node.sim.now
+        self._busy_at_last = self.guard.node.cpu.completed_busy_seconds()
+        self._counters_at_last = self._read_counters()
+
+    def sample(self) -> SignalSnapshot:
+        """Difference counters since the previous sample (or rebase)."""
+        guard = self.guard
+        cpu = guard.node.cpu
+        now = guard.node.sim.now
+        interval = now - self._last_time
+        utilization = cpu.utilization(self._busy_at_last, self._last_time)
+        counters = self._read_counters()
+        prev = self._counters_at_last
+        scale = 1.0 / interval if interval > 0 else 0.0
+
+        def rate(owner: str, attr: str) -> float:
+            return (counters[(owner, attr)] - prev[(owner, attr)]) * scale
+
+        snapshot = SignalSnapshot(
+            time=now,
+            interval=interval,
+            cpu_utilization=utilization,
+            offered_rate=rate("guard", "queries_seen"),
+            cookie_failure_rate=rate("guard", "invalid_drops")
+            + rate("tcp", "cookie_failures"),
+            rl1_denial_rate=rate("guard", "rl1_drops"),
+            rl2_denial_rate=rate("guard", "rl2_drops"),
+            queue_drop_rate=rate("cpu", "jobs_dropped"),
+            work_dropped_rate=rate("cpu", "work_dropped_seconds"),
+            admission_shed_rate=rate("guard", "admission_shed"),
+            stale_segment_rate=rate("tcp", "stale_segments"),
+        )
+        self._last_time = now
+        self._busy_at_last = cpu.completed_busy_seconds()
+        self._counters_at_last = counters
+        return snapshot

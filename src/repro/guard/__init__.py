@@ -23,7 +23,7 @@ from .dns_scheme import (
     fabricated_referral,
 )
 from .local_guard import DEFAULT_COOKIE_TTL, LocalDnsGuard
-from .pipeline import RemoteDnsGuard
+from .pipeline import AdmissionControl, RemoteDnsGuard
 from .rfc7873 import (
     EdnsCookieClientShim,
     EdnsCookieGuard,
@@ -42,6 +42,7 @@ from .ratelimit import (
 from .tcp_scheme import TcpProxy
 
 __all__ = [
+    "AdmissionControl",
     "CookieFactory",
     "CookieName",
     "DEFAULT_COOKIE_TTL",

@@ -116,6 +116,12 @@ __shared_state__ = {
             "cookies",
             "estimator",
             "_sweeper",
+            # control-plane actuator targets (PR 7): the controller's
+            # boundary-lane sweep mutates these, so they are
+            # scheduler-visible state like any other soft-state cell
+            "_policy",
+            "admission",
+            "_verified_sources",
         ],
         "commutative": [
             "crashes",
@@ -131,10 +137,32 @@ __shared_state__ = {
             "responses_transformed",
             "forwarded_inactive",
             "unroutable_replies",
+            "admission_shed",
+            "watched_rejects",
             "_decision_counters",
         ],
     },
+    "AdmissionControl": {
+        "guarded": ["engaged", "shed_backlog_fraction", "verified_ttl"],
+    },
 }
+
+
+@dataclasses.dataclass(slots=True)
+class AdmissionControl:
+    """Priority-aware ingress admission (§IV.C, closed by ``repro.control``).
+
+    While ``engaged`` and the node CPU backlog exceeds
+    ``shed_backlog_fraction`` of the queue limit, queries from sources
+    without a *fresh verification* (a cookie/label/COOKIE2 success within
+    ``verified_ttl`` seconds) are shed at bare per-packet cost before any
+    DNS parsing.  Verified requesters keep flowing — the opposite of the
+    FIFO queue dropping blindly when it saturates.
+    """
+
+    engaged: bool = False
+    shed_backlog_fraction: float = 0.5
+    verified_ttl: float = 5.0
 
 
 @dataclasses.dataclass(slots=True)
@@ -202,6 +230,17 @@ class RemoteDnsGuard:
         self.estimator = RateEstimator()
         self._pending: dict[tuple[IPv4Address, int, int], _Pending] = {}
         self._answer_cache: dict[tuple[Name, int], _CachedAnswer] = {}
+        #: Optional priority-aware ingress admission, installed by the
+        #: control plane via :meth:`set_admission`.  ``None`` means the
+        #: guard behaves exactly as before the control plane existed.
+        self.admission: AdmissionControl | None = None
+        #: ``source -> last verify-success time`` — only maintained while
+        #: an admission policy is installed, bounded FIFO.
+        self._verified_sources: dict[IPv4Address, float] = {}
+        #: Experiment-configured ground truth: sources known legitimate,
+        #: so any denial of service to them is a measured false reject.
+        #: Populated before the run starts and read-only afterwards.
+        self.watch_sources: frozenset[IPv4Address] = frozenset()
         #: True while the guard process is crashed: the box is dead inline
         #: hardware, so *nothing* crosses it (unlike ``enabled=False``,
         #: which degrades it to a plain router).
@@ -220,6 +259,8 @@ class RemoteDnsGuard:
         self.responses_transformed = 0
         self.forwarded_inactive = 0
         self.unroutable_replies = 0
+        self.admission_shed = 0
+        self.watched_rejects = 0
 
         # observability: pull-based stats snapshot plus per-decision
         # counters/spans via _note(); everything gates on a single None
@@ -269,6 +310,46 @@ class RemoteDnsGuard:
             return self._policy(source)
         return self._policy
 
+    # -- control-plane actuator seam ---------------------------------------------------
+    #
+    # The sanctioned mutating entry points for ``repro.control``: analysis
+    # rule W002 forbids calling these from ``repro/obs/`` code, so the
+    # observe-only contract survives the control plane's existence.
+
+    def set_policy(self, policy: Policy | Callable[[IPv4Address], Policy]) -> None:
+        """Hot-switch the challenge scheme for unverified plain queries."""
+        self._policy = policy
+
+    def set_admission(self, control: AdmissionControl | None) -> None:
+        """Install (or remove, with ``None``) ingress admission control."""
+        self.admission = control
+        if control is None:
+            self._verified_sources.clear()
+
+    def rotate_cookie_key(self, key: bytes) -> None:
+        """Install a fresh cookie key on top of the current generation.
+
+        The generation-parity scheme tolerates exactly one outstanding
+        previous generation, so callers must budget rotations; the key is
+        supplied by the caller (the controller draws from
+        ``child_rng("control")``) so rotation never perturbs the core
+        event stream's randomness.
+        """
+        self.cookies.rotate(key)
+
+    def _mark_verified(self, source: IPv4Address) -> None:
+        """Remember a verify success for admission priority (bounded FIFO)."""
+        if self.admission is None:
+            return
+        table = self._verified_sources
+        table[source] = self.node.sim.now
+        if len(table) > 8192:
+            del table[next(iter(table))]
+
+    def _watched_reject(self, source: IPv4Address) -> None:
+        if source in self.watch_sources:
+            self.watched_rejects += 1
+
     def is_active(self, now: float) -> bool:
         """Whether spoof detection is currently engaged."""
         if not self.enabled:
@@ -311,6 +392,7 @@ class RemoteDnsGuard:
         self.down = True
         self._pending.clear()
         self._answer_cache.clear()
+        self._verified_sources.clear()
         self.rl1.reset()
         self.rl2.reset()
         self.estimator = RateEstimator(self.estimator.window)
@@ -386,6 +468,22 @@ class RemoteDnsGuard:
         self.queries_seen += 1
         self.estimator.observe(now)
         active = self.is_active(now)
+        # priority-aware admission: when the control plane has engaged
+        # shedding and the CPU backlog is past the configured fraction of
+        # the queue limit, unverified sources are shed *here* — before any
+        # payload parsing — at bare per-packet cost, so verified traffic
+        # keeps its CPU headroom instead of the FIFO dropping blindly
+        adm = self.admission
+        if adm is not None and adm.engaged:
+            cpu = self.node.cpu
+            if cpu.backlog >= adm.shed_backlog_fraction * cpu.queue_limit:
+                seen = self._verified_sources.get(packet.src)
+                if seen is None or seen + adm.verified_ttl <= now:
+                    self.admission_shed += 1
+                    self._watched_reject(packet.src)
+                    self._charge(self.costs.per_packet)
+                    self._note("admission", "shed", packet.span)
+                    return "drop"
         payload = datagram.payload
         if not isinstance(payload, DnsPayload):
             # not parseable as DNS at all
@@ -429,8 +527,10 @@ class RemoteDnsGuard:
                 return "drop"
             if self.cookies.verify(cookie, src):
                 self.valid_cookies += 1
+                self._mark_verified(src)
                 if active and not self.rl2.allow(src, now):
                     self.rl2_drops += 1
+                    self._watched_reject(src)
                     self._note("modified", "rl2_drop", packet.span)
                     return "drop"
                 self._note("modified", "forward", packet.span)
@@ -438,6 +538,7 @@ class RemoteDnsGuard:
                 return "drop"
             if active:
                 self.invalid_drops += 1
+                self._watched_reject(src)
                 self._charge(self.costs.drop_invalid)
                 self._note("modified", "invalid_drop", packet.span)
                 return "drop"
@@ -461,14 +562,17 @@ class RemoteDnsGuard:
             if not active or self.cookies.verify_label(decoded.cookie_label, src):
                 if active:
                     self.valid_cookies += 1
+                    self._mark_verified(src)
                     if not self.rl2.allow(src, now):
                         self.rl2_drops += 1
+                        self._watched_reject(src)
                         self._note("ns_name", "rl2_drop", packet.span)
                         return "drop"
                 self._note("ns_name", "forward", packet.span)
                 self._restore_and_forward(packet, datagram, message, decoded)
                 return "drop"
             self.invalid_drops += 1
+            self._watched_reject(src)
             self._charge(self.costs.drop_invalid)
             self._note("ns_name", "invalid_drop", packet.span)
             return "drop"
@@ -487,11 +591,13 @@ class RemoteDnsGuard:
             # the cookie/label checks above already ran, so a policy drop
             # still costs a verification's worth of CPU
             self.invalid_drops += 1
+            self._watched_reject(src)
             self._charge(self.costs.drop_invalid)
             self._note("plain", "policy_drop", packet.span)
             return "drop"
         if not self.rl1.allow(src, now):
             self.rl1_drops += 1
+            self._watched_reject(src)
             self._charge(self.costs.per_packet)
             self._note("plain", "rl1_drop", packet.span)
             return "drop"
@@ -597,12 +703,15 @@ class RemoteDnsGuard:
         if active:
             if not self.cookies.verify_ip_cookie(y, packet.src, r_y):
                 self.invalid_drops += 1
+                self._watched_reject(packet.src)
                 self._charge(self.costs.drop_invalid)
                 self._note("fabricated", "invalid_drop", packet.span)
                 return
             self.valid_cookies += 1
+            self._mark_verified(packet.src)
             if not self.rl2.allow(packet.src, now):
                 self.rl2_drops += 1
+                self._watched_reject(packet.src)
                 self._note("fabricated", "rl2_drop", packet.span)
                 return
         question = message.question
@@ -774,6 +883,9 @@ class RemoteDnsGuard:
             "responses_transformed": self.responses_transformed,
             "forwarded_inactive": self.forwarded_inactive,
             "unroutable_replies": self.unroutable_replies,
+            "admission_shed": self.admission_shed,
+            "watched_rejects": self.watched_rejects,
+            "verified_sources": len(self._verified_sources),
             "pending_exchanges": self.pending_exchanges,
             "cookie_computations": self.cookies.computations,
             "cpu_busy_seconds": self.node.cpu.completed_busy_seconds(),

@@ -23,14 +23,17 @@ from ipaddress import IPv4Address
 #: refills look idempotent: ``consume`` at equal virtual time is
 #: last-writer-wins on ``_tokens``.
 __shared_state__ = {
-    "TokenBucket": {"guarded": ["_tokens", "_updated_at"]},
+    # ``rate``/``burst`` and the limiters' per-source settings are guarded
+    # too since PR 7: the control plane hot-tunes them via ``reconfigure``
+    # from its boundary-lane sweep, so they are scheduler-visible state.
+    "TokenBucket": {"guarded": ["_tokens", "_updated_at", "rate", "burst"]},
     "TopRequesterTracker": {"guarded": ["_counts"], "commutative": ["total"]},
     "UnverifiedResponseLimiter": {
-        "guarded": ["_buckets", "tracker"],
+        "guarded": ["_buckets", "tracker", "per_source_rate", "per_source_burst"],
         "commutative": ["allowed", "denied"],
     },
     "VerifiedRequestLimiter": {
-        "guarded": ["_buckets"],
+        "guarded": ["_buckets", "per_host_rate", "per_host_burst"],
         "commutative": ["allowed", "denied"],
     },
     "RateEstimator": {"guarded": ["_count", "_window_start", "_last_rate"]},
@@ -65,6 +68,19 @@ class TokenBucket:
             self._tokens = min(self.burst, self._tokens + (now - self._updated_at) * self.rate)
             self._updated_at = now
         return self._tokens
+
+    def reconfigure(self, rate: float, burst: float) -> None:
+        """Hot-tune the bucket without resetting its fill level.
+
+        The current fill is clamped to the new burst so tightening the
+        limit takes effect immediately instead of after the old surplus
+        drains.
+        """
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate = rate
+        self.burst = burst
+        self._tokens = min(self._tokens, burst)
 
 
 @dataclasses.dataclass(slots=True)
@@ -155,6 +171,15 @@ class UnverifiedResponseLimiter:
         self.denied += 1
         return False
 
+    def reconfigure(self, rate: float, burst: float) -> None:
+        """Hot-tune the per-source limit for existing and future buckets."""
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.per_source_rate = rate
+        self.per_source_burst = burst
+        for bucket in self._buckets.values():
+            bucket.reconfigure(rate, burst)
+
     def reset(self) -> None:
         """Drop all soft state (bucket fill, heavy-hitter counts) — what a
         guard crash loses; configuration survives."""
@@ -198,6 +223,15 @@ class VerifiedRequestLimiter:
             return True
         self.denied += 1
         return False
+
+    def reconfigure(self, rate: float, burst: float) -> None:
+        """Hot-tune the per-host limit for existing and future buckets."""
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.per_host_rate = rate
+        self.per_host_burst = burst
+        for bucket in self._buckets.values():
+            bucket.reconfigure(rate, burst)
 
     def reset(self) -> None:
         """Drop all soft state (bucket fill) — configuration survives."""

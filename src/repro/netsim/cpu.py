@@ -50,6 +50,10 @@ class Cpu:
         self._busy_accumulated = 0.0
         self.jobs_accepted = 0
         self.jobs_dropped = 0
+        #: CPU-seconds burned on pure accounting while the queue was
+        #: saturated — the cost of *discarding* packets under overload,
+        #: which §IV.C insists does not vanish just because the box is busy.
+        self.work_dropped_seconds = 0.0
 
     # -- work submission ----------------------------------------------------
 
@@ -58,7 +62,10 @@ class Cpu:
 
         Returns False (and drops the work) if the backlog is over the queue
         limit.  ``fn`` may be ``None`` for pure accounting (e.g. the cost of
-        dropping an invalid packet).
+        dropping an invalid packet); pure accounting is *burned even at the
+        limit* — an overloaded CPU still spends cycles receiving and
+        discarding the packets it cannot serve (§IV.C) — and the saturated
+        share is tracked in :attr:`work_dropped_seconds`.
         """
         cost = cost / self.speed
         now = self.sim.now
@@ -66,6 +73,14 @@ class Cpu:
         backlog = max(0.0, self._core_busy_until[core] - now)
         if backlog > self.queue_limit:
             self.jobs_dropped += 1
+            if fn is None:
+                # discarding still burns CPU: extend the busy horizon so the
+                # cost delays (and keeps dropping) later submissions, exactly
+                # like an overloaded kernel spending its time in rx+drop
+                start = max(self._core_busy_until[core], now)
+                self._core_busy_until[core] = start + cost
+                self._busy_accumulated += cost
+                self.work_dropped_seconds += cost
             return False
         start = max(self._core_busy_until[core], now)
         self._core_busy_until[core] = start + cost
@@ -109,3 +124,4 @@ class Cpu:
     def reset_counters(self) -> None:
         self.jobs_accepted = 0
         self.jobs_dropped = 0
+        self.work_dropped_seconds = 0.0

@@ -129,6 +129,9 @@ class Observability:
             )
             g("node.cpu_jobs_accepted", node=node.name).set(cpu.jobs_accepted)
             g("node.cpu_jobs_dropped", node=node.name).set(cpu.jobs_dropped)
+            g("node.cpu_work_dropped_seconds", node=node.name).set(
+                cpu.work_dropped_seconds
+            )
         for link in self._links:
             for sender in (link.a, link.b):
                 sent, dropped, bytes_sent = link.stats(sender)

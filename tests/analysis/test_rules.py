@@ -371,3 +371,63 @@ class TestW002ObserveOnly:
                 if f.rule == "W002"
             ]
             assert not found, f"{path}: {found}"
+
+
+class TestW002ActuatorSeam:
+    """Mutating guard/limiter entry points are reserved for repro.control."""
+
+    OBS_PATH = "src/repro/obs/exporters.py"
+
+    def _findings(self, source: str, path: str = OBS_PATH):
+        found = lint_source(textwrap.dedent(source), path=path)
+        return [f for f in found if f.rule == "W002"]
+
+    def test_flags_actuator_calls_from_obs(self):
+        found = self._findings(
+            """
+            def meddle(guard):
+                guard.set_policy("drop")
+                guard.rl1.reconfigure(10.0, 20.0)
+                guard.rotate_cookie_key(b"k")
+                guard.set_admission(None)
+            """
+        )
+        assert len(found) == 4
+        assert all("actuator seam" in f.message for f in found)
+
+    def test_flags_lifecycle_and_reset_calls(self):
+        found = self._findings(
+            """
+            def meddle(guard):
+                guard.crash()
+                guard.rl1.reset()
+            """
+        )
+        assert len(found) == 2
+
+    def test_control_plane_may_actuate(self):
+        source = """
+        def escalate(guard):
+            guard.set_policy("drop")
+            guard.rl1.reconfigure(10.0, 20.0)
+        """
+        assert not self._findings(source, path="src/repro/control/actuators.py")
+        assert not self._findings(source, path="src/repro/faults/plan.py")
+
+    def test_observing_reads_stay_clean(self):
+        found = self._findings(
+            """
+            def peek(guard):
+                return guard.stats(), guard.policy_for, guard.admission
+            """
+        )
+        assert not found
+
+    def test_allow_marker_suppresses_seam_finding(self):
+        found = self._findings(
+            """
+            def meddle(guard):
+                guard.set_policy("drop")  # repro: allow[W002]
+            """
+        )
+        assert not found

@@ -1,0 +1,141 @@
+"""Unit tests for the controller's actuator seam (one axis per class)."""
+
+import random
+
+import pytest
+
+from repro.control import (
+    AdmissionActuator,
+    KeyRotationActuator,
+    RateLimitActuator,
+    SchemeActuator,
+    default_actuators,
+)
+from repro.experiments.testbed import GuardTestbed
+from repro.guard import UnverifiedResponseLimiter, VerifiedRequestLimiter
+
+
+class TestSchemeActuator:
+    def test_ladder_maps_levels_to_policies(self):
+        bed = GuardTestbed(guard_policy="dns")
+        act = SchemeActuator(bed.guard)
+        assert act.apply(1)
+        assert bed.guard._policy == "dns"  # level 1 keeps the cheap base
+        act.apply(2)
+        assert bed.guard._policy == "tcp"
+        act.apply(3)
+        assert bed.guard._policy == "drop"
+
+    def test_revert_restores_base_policy(self):
+        bed = GuardTestbed(guard_policy="dns")
+        act = SchemeActuator(bed.guard)
+        act.apply(3)
+        act.revert()
+        assert bed.guard._policy == "dns"
+        assert act.level == 0
+
+    def test_apply_same_level_is_a_noop(self):
+        bed = GuardTestbed()
+        act = SchemeActuator(bed.guard)
+        assert not act.apply(0)
+
+
+class TestRateLimitActuator:
+    def _bed(self):
+        return GuardTestbed(
+            rl1=UnverifiedResponseLimiter(
+                per_source_rate=100.0, per_source_burst=200.0
+            ),
+            rl2=VerifiedRequestLimiter(per_host_rate=1000.0, per_host_burst=2000.0),
+        )
+
+    def test_factors_tighten_against_saved_base(self):
+        bed = self._bed()
+        act = RateLimitActuator(bed.guard)
+        act.apply(3)
+        assert bed.guard.rl1.per_source_rate == pytest.approx(10.0)
+        assert bed.guard.rl1.per_source_burst == pytest.approx(20.0)
+        assert bed.guard.rl2.per_host_rate == pytest.approx(500.0)
+
+    def test_rl2_never_tightens_below_half(self):
+        bed = self._bed()
+        act = RateLimitActuator(bed.guard)
+        for level in (1, 2, 3):
+            act.apply(level)
+            assert bed.guard.rl2.per_host_rate >= 500.0
+
+    def test_revert_restores_base_rates(self):
+        bed = self._bed()
+        act = RateLimitActuator(bed.guard)
+        act.apply(3)
+        act.revert()
+        assert bed.guard.rl1.per_source_rate == pytest.approx(100.0)
+        assert bed.guard.rl2.per_host_burst == pytest.approx(2000.0)
+
+
+class TestAdmissionActuator:
+    def test_installs_disengaged_at_construction(self):
+        bed = GuardTestbed()
+        assert bed.guard.admission is None
+        AdmissionActuator(bed.guard)
+        assert bed.guard.admission is not None
+        assert not bed.guard.admission.engaged
+
+    def test_levels_set_shed_fraction(self):
+        bed = GuardTestbed()
+        act = AdmissionActuator(bed.guard)
+        act.apply(1)
+        assert bed.guard.admission.engaged
+        assert bed.guard.admission.shed_backlog_fraction == pytest.approx(0.5)
+        act.apply(3)
+        assert bed.guard.admission.shed_backlog_fraction == pytest.approx(0.25)
+
+    def test_revert_disengages_but_keeps_cache_warming(self):
+        bed = GuardTestbed()
+        act = AdmissionActuator(bed.guard)
+        act.apply(2)
+        act.revert()
+        # still installed (so _mark_verified keeps warming the cache),
+        # just not shedding anyone
+        assert bed.guard.admission is not None
+        assert not bed.guard.admission.engaged
+
+
+class TestKeyRotationActuator:
+    def test_rotation_waits_for_engage_level_and_period(self):
+        bed = GuardTestbed()
+        act = KeyRotationActuator(bed.guard, random.Random(7), period=1.0)
+        gen0 = bed.guard.cookies.generation
+        assert not act.tick(2.0)  # below engage level: never rotates
+        act.apply(2)
+        assert not act.tick(0.5)  # period not yet elapsed
+        assert act.tick(1.5)
+        assert bed.guard.cookies.generation == gen0 + 1
+        assert act.rotations == 1
+
+    def test_rotation_budget_is_one_generation(self):
+        bed = GuardTestbed()
+        act = KeyRotationActuator(bed.guard, random.Random(7), period=1.0)
+        act.apply(2)
+        assert act.tick(1.5)
+        # second rotation would kill every pre-escalation cookie in the
+        # field (generation parity tolerates one outstanding generation)
+        assert not act.tick(10.0)
+        assert bed.guard.cookies.generation == act._base_generation + 1
+
+    def test_crash_restart_rotation_consumes_the_budget(self):
+        bed = GuardTestbed()
+        act = KeyRotationActuator(bed.guard, random.Random(7), period=1.0)
+        act.apply(2)
+        state = bed.guard.crash()
+        bed.guard.restart(state, rotate_key=True)
+        assert not act.tick(10.0)
+        assert act.rotations == 0
+
+
+class TestDefaultActuators:
+    def test_full_ladder_composition(self):
+        bed = GuardTestbed()
+        acts = default_actuators(bed.guard, random.Random(0))
+        names = [a.name for a in acts]
+        assert names == ["scheme", "ratelimit", "admission", "key-rotation"]

@@ -1,0 +1,193 @@
+"""Closed-loop controller tests: hysteresis, budgets, fail-safe, parity."""
+
+import pytest
+
+from repro.analysis.sanitizer import capture_traces
+from repro.control import (
+    Actuator,
+    ControlConfig,
+    GuardController,
+    RateLimitActuator,
+    SchemeActuator,
+)
+from repro.dns import LrsSimulator
+from repro.experiments.testbed import ANS_ADDRESS, GuardTestbed
+
+
+def _saturate(bed, seconds=5.0):
+    """Park enough work on the guard CPU to pin utilisation at 1.0."""
+    bed.guard_node.cpu.charge(seconds)
+
+
+class TestHysteresis:
+    def test_escalates_under_sustained_overload(self):
+        bed = GuardTestbed()
+        ctrl = GuardController(bed.guard).start()
+        _saturate(bed)
+        bed.run(1.0)
+        assert ctrl.level == 3
+        assert ctrl.escalations == 3
+        assert bed.guard._policy == "drop"
+        assert bed.guard.admission.engaged
+        assert bed.guard.admission.shed_backlog_fraction == pytest.approx(0.25)
+        assert ctrl.last_snapshot.cpu_utilization >= 0.9
+
+    def test_single_hot_sweep_does_not_escalate(self):
+        bed = GuardTestbed()
+        # one sweep sees the busy window, the next sees idle: the
+        # escalate_after debounce must hold the level at 0
+        ctrl = GuardController(
+            bed.guard, config=ControlConfig(escalate_after=2)
+        ).start()
+        _saturate(bed, seconds=0.05)
+        bed.run(0.5)
+        assert ctrl.escalations == 0
+        assert ctrl.level == 0
+
+    def test_deescalates_when_load_subsides(self):
+        bed = GuardTestbed(guard_policy="dns")
+        ctrl = GuardController(
+            bed.guard, config=ControlConfig(deescalate_after=3)
+        ).start()
+        _saturate(bed, seconds=0.4)
+        bed.run(3.0)
+        assert ctrl.escalations >= 1
+        assert ctrl.deescalations >= 1
+        assert ctrl.level == 0
+        assert bed.guard._policy == "dns"
+        assert not bed.guard.admission.engaged
+
+    def test_cooldown_spaces_level_changes(self):
+        bed = GuardTestbed()
+        ctrl = GuardController(
+            bed.guard, config=ControlConfig(escalate_after=1, cooldown=10.0)
+        ).start()
+        _saturate(bed)
+        bed.run(1.0)
+        assert ctrl.escalations == 1
+        assert ctrl.level == 1
+
+    def test_action_budget_bounds_actuation_rate(self):
+        bed = GuardTestbed()
+        cfg = ControlConfig(
+            escalate_after=1,
+            cooldown=0.0,
+            max_actions_per_window=1,
+            action_window=60.0,
+        )
+        ctrl = GuardController(bed.guard, config=cfg).start()
+        _saturate(bed)
+        bed.run(1.0)
+        assert ctrl.escalations == 1
+        assert ctrl.level == 1
+        assert ctrl.actions_suppressed > 0
+
+
+class _BoomActuator(Actuator):
+    """Explodes on any non-zero level; reverts cleanly."""
+
+    name = "boom"
+
+    def _enact(self, level):
+        if level:
+            raise RuntimeError("actuator exploded")
+
+
+class TestWatchdog:
+    def test_sweep_exception_reverts_and_disables(self):
+        bed = GuardTestbed(guard_policy="dns")
+        actuators = [
+            SchemeActuator(bed.guard),
+            RateLimitActuator(bed.guard),
+            _BoomActuator(),
+        ]
+        ctrl = GuardController(bed.guard, actuators=actuators).start()
+        base_rate = bed.guard.rl1.per_source_rate
+        _saturate(bed)
+        bed.run(0.5)
+        assert ctrl.failed
+        assert "RuntimeError" in (ctrl.failure or "")
+        assert ctrl.level == 0
+        # the limiter actuator had already tightened before the blow-up;
+        # the watchdog must have restored the static base config
+        assert bed.guard.rl1.per_source_rate == pytest.approx(base_rate)
+        assert bed.guard._policy == "dns"
+        assert any(kind == "revert:controller-crash" for _, kind, _ in ctrl.actions)
+
+    def test_failed_controller_stops_sweeping_for_good(self):
+        bed = GuardTestbed()
+        ctrl = GuardController(bed.guard, actuators=[_BoomActuator()]).start()
+        _saturate(bed)
+        bed.run(0.5)
+        assert ctrl.failed
+        sweeps = ctrl.sweeps
+        bed.run(0.5)
+        assert ctrl.sweeps == sweeps
+        # start() on a failed controller must not resurrect it
+        assert ctrl.start() is ctrl
+        assert ctrl._handle is None
+
+
+class TestCrashComposition:
+    def test_guard_crash_reverts_to_safe_config(self):
+        bed = GuardTestbed(guard_policy="dns")
+        ctrl = GuardController(bed.guard).start()
+        _saturate(bed)
+        bed.run(0.42)
+        assert ctrl.level >= 1
+        state = bed.guard.crash()
+        bed.guard.restart(state, rotate_key=True)
+        bed.run(0.04)  # crosses exactly one sweep (t=0.45)
+        assert ctrl.level == 0
+        assert ctrl.reverts == 1
+        assert any(kind == "revert:guard-crash" for _, kind, _ in ctrl.actions)
+        assert not ctrl.failed
+        assert bed.guard._policy == "dns"
+
+    def test_controller_can_reescalate_after_crash_revert(self):
+        bed = GuardTestbed()
+        ctrl = GuardController(bed.guard).start()
+        _saturate(bed, seconds=10.0)
+        bed.run(0.42)
+        state = bed.guard.crash()
+        bed.guard.restart(state, rotate_key=True)
+        bed.run(1.0)  # load never went away: the loop should climb back
+        assert ctrl.reverts == 1
+        assert ctrl.level >= 1
+        assert not ctrl.failed
+
+
+class TestDisabledParity:
+    @staticmethod
+    def _digests(with_disabled_controller):
+        def scenario():
+            bed = GuardTestbed(seed=5)
+            client = bed.add_client("lrs")
+            lrs = LrsSimulator(client, ANS_ADDRESS, workload="plain", concurrency=2)
+            if with_disabled_controller:
+                ctrl = GuardController(bed.guard, enabled=False)
+                ctrl.start()
+                assert ctrl._handle is None  # schedules nothing
+                assert ctrl.rng is None  # draws nothing
+            lrs.start()
+            bed.run(0.2)
+
+        with capture_traces() as collector:
+            scenario()
+        return [(trace.count, trace.hexdigest()) for trace in collector.traces]
+
+    def test_disabled_controller_leaves_trace_bit_identical(self):
+        assert self._digests(False) == self._digests(True)
+
+
+class TestReporting:
+    def test_summary_counters(self):
+        bed = GuardTestbed()
+        ctrl = GuardController(bed.guard).start()
+        _saturate(bed)
+        bed.run(0.3)
+        summary = ctrl.summary()
+        assert summary["enabled"] == 1
+        assert summary["sweeps"] == ctrl.sweeps > 0
+        assert summary["level"] == ctrl.level
+        assert summary["failed"] == 0

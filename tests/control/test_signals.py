@@ -1,0 +1,68 @@
+"""Unit tests for the control plane's windowed-delta signal reader."""
+
+import pytest
+
+from repro.control import SignalReader
+from repro.experiments.testbed import GuardTestbed
+
+
+class TestSignalReader:
+    def test_rates_are_deltas_over_the_interval(self):
+        bed = GuardTestbed()
+        reader = SignalReader(bed.guard)
+        bed.guard.queries_seen += 100
+        bed.guard.invalid_drops += 5
+        bed.guard.rl1_drops += 10
+        bed.guard_node.cpu.charge(0.2)
+        bed.run(0.5)
+        snap = reader.sample()
+        assert snap.interval == pytest.approx(0.5)
+        assert snap.offered_rate == pytest.approx(200.0)
+        assert snap.cookie_failure_rate == pytest.approx(10.0)
+        assert snap.rl1_denial_rate == pytest.approx(20.0)
+        assert snap.cpu_utilization == pytest.approx(0.4)
+        assert snap.queue_drop_rate == 0.0
+
+    def test_second_sample_sees_only_new_activity(self):
+        bed = GuardTestbed()
+        reader = SignalReader(bed.guard)
+        bed.guard.queries_seen += 100
+        bed.run(0.5)
+        reader.sample()
+        bed.run(0.5)
+        snap = reader.sample()
+        assert snap.offered_rate == 0.0
+        assert snap.cpu_utilization == 0.0
+
+    def test_rebase_forgets_history(self):
+        bed = GuardTestbed()
+        reader = SignalReader(bed.guard)
+        bed.guard.queries_seen += 1000
+        bed.guard_node.cpu.charge(0.4)
+        bed.run(0.5)
+        reader.rebase()
+        bed.run(0.5)
+        snap = reader.sample()
+        assert snap.offered_rate == 0.0
+        # the charged work finished before the rebased window opened
+        assert snap.cpu_utilization == 0.0
+
+    def test_queue_and_burn_signals_surface_cpu_overload(self):
+        bed = GuardTestbed()
+        cpu = bed.guard_node.cpu
+        reader = SignalReader(bed.guard)
+        cpu.submit(2 * cpu.queue_limit, lambda: None)  # saturate the queue
+        cpu.charge(0.001)  # burned at the limit
+        cpu.submit(0.001, lambda: None)  # dropped outright
+        bed.run(0.1)
+        snap = reader.sample()
+        assert snap.queue_drop_rate > 0.0
+        assert snap.work_dropped_rate > 0.0
+
+    def test_zero_interval_sample_reports_zero_rates(self):
+        bed = GuardTestbed()
+        reader = SignalReader(bed.guard)
+        bed.guard.queries_seen += 50
+        snap = reader.sample()
+        assert snap.interval == 0.0
+        assert snap.offered_rate == 0.0

@@ -1,0 +1,91 @@
+"""Smoke tests for the adaptive-control experiment and its bench record."""
+
+import json
+
+from repro.experiments.control import (
+    ControlCell,
+    ControlResult,
+    format_control,
+    run_control,
+    write_bench_control,
+)
+
+
+class TestRunControl:
+    def test_fast_subset_matrix(self):
+        result = run_control(seed=1, fast=True, schemes=("modified", "adaptive"))
+        # fast mode: 2 attacks x 2 faults x the 2 requested schemes
+        assert len(result.cells) == 8
+        adaptive = [c for c in result.cells if c.scheme == "adaptive"]
+        assert len(adaptive) == 4
+        assert all(not c.ctrl_failed for c in adaptive)
+
+        calm = next(
+            c for c in adaptive if c.attack == "calm" and c.fault == "none"
+        )
+        assert calm.availability > 0.9
+        flood = next(
+            c for c in adaptive if c.attack == "cookie-flood" and c.fault == "none"
+        )
+        assert flood.ctrl_max_level >= 1  # the controller actually escalated
+        # the controller reverted to the safe config on every crash cell
+        assert result.crash_reverts >= 1
+        assert result.false_rejects_adaptive == 0
+
+    def test_static_only_skips_win_computation(self):
+        result = run_control(seed=1, fast=True, schemes=("modified",))
+        assert result.adaptive_wins == []
+        assert all(c.scheme == "modified" for c in result.cells)
+
+    def test_format_is_human_readable(self):
+        result = run_control(seed=1, fast=True, schemes=("modified", "adaptive"))
+        text = format_control(result)
+        assert "adaptive" in text
+        assert "false rejects" in text
+        assert "safe-reverts" in text
+
+
+def _tiny_result() -> ControlResult:
+    cell = ControlCell(
+        attack="calm",
+        fault="none",
+        scheme="adaptive",
+        sent=10,
+        completed=10,
+        timeouts=0,
+        availability=1.0,
+        mean_latency_ms=1.0,
+        added_latency_ms=0.0,
+        false_rejects=0,
+        cpu_utilization=0.5,
+    )
+    return ControlResult(
+        cells=[cell],
+        adaptive_wins=[("calm", "none")],
+        false_rejects_adaptive=0,
+        false_rejects_modified=0,
+        crash_reverts=0,
+    )
+
+
+class TestBenchRecord:
+    def test_trajectory_appends_across_runs(self, tmp_path):
+        path = str(tmp_path / "BENCH_control.json")
+        result = _tiny_result()
+        doc1 = write_bench_control(result, path, date="2026-08-07")
+        assert len(doc1["trajectory"]) == 1
+        doc2 = write_bench_control(result, path, date="2026-08-08")
+        assert [entry["date"] for entry in doc2["trajectory"]] == [
+            "2026-08-07",
+            "2026-08-08",
+        ]
+        assert doc2["value"] == 1.0
+        with open(path, encoding="utf-8") as fh:
+            on_disk = json.load(fh)
+        assert on_disk == doc2
+
+    def test_corrupt_previous_file_is_replaced(self, tmp_path):
+        path = tmp_path / "BENCH_control.json"
+        path.write_text("not json", encoding="utf-8")
+        doc = write_bench_control(_tiny_result(), str(path), date="2026-08-08")
+        assert len(doc["trajectory"]) == 1

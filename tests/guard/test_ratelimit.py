@@ -145,3 +145,65 @@ class TestRateEstimator:
     def test_invalid_window(self):
         with pytest.raises(ValueError):
             RateEstimator(window=0.0)
+
+
+class TestReconfigure:
+    def test_bucket_reconfigure_clamps_tokens_to_new_burst(self):
+        bucket = TokenBucket(rate=10.0, burst=10.0)
+        bucket.reconfigure(5.0, 2.0)
+        assert bucket.available(0.0) == pytest.approx(2.0)
+        assert bucket.consume(0.0)
+        assert bucket.consume(0.0)
+        assert not bucket.consume(0.0)
+
+    def test_bucket_widening_does_not_mint_tokens(self):
+        bucket = TokenBucket(rate=10.0, burst=2.0)
+        bucket.consume(0.0)
+        bucket.consume(0.0)
+        bucket.reconfigure(10.0, 100.0)
+        assert bucket.available(0.0) == pytest.approx(0.0)
+        # ...but the new ceiling applies to refills
+        assert bucket.available(100.0) == pytest.approx(100.0)
+
+    def test_bucket_reconfigure_rejects_nonpositive(self):
+        bucket = TokenBucket(rate=10.0, burst=10.0)
+        with pytest.raises(ValueError):
+            bucket.reconfigure(0.0, 1.0)
+        with pytest.raises(ValueError):
+            bucket.reconfigure(1.0, -1.0)
+
+    def test_rl1_reconfigure_applies_to_existing_buckets(self):
+        limiter = UnverifiedResponseLimiter(
+            per_source_rate=100.0, per_source_burst=100.0
+        )
+        src = ip(1)
+        assert limiter.allow(src, 0.0)  # materialises a 100-token bucket
+        limiter.reconfigure(1.0, 2.0)
+        assert limiter.allow(src, 0.0)
+        assert limiter.allow(src, 0.0)
+        assert not limiter.allow(src, 0.0)  # clamped to the new burst
+
+    def test_rl1_reconfigure_applies_to_new_buckets(self):
+        limiter = UnverifiedResponseLimiter(
+            per_source_rate=100.0, per_source_burst=100.0
+        )
+        limiter.reconfigure(1.0, 2.0)
+        assert limiter.per_source_rate == 1.0
+        src = ip(2)
+        assert limiter.allow(src, 0.0)
+        assert limiter.allow(src, 0.0)
+        assert not limiter.allow(src, 0.0)
+
+    def test_rl2_reconfigure_applies_to_existing_buckets(self):
+        limiter = VerifiedRequestLimiter(per_host_rate=100.0, per_host_burst=100.0)
+        host = ip(3)
+        assert limiter.allow(host, 0.0)
+        limiter.reconfigure(2.0, 3.0)
+        assert limiter.per_host_burst == 3.0
+        allowed = sum(limiter.allow(host, 0.0) for _ in range(10))
+        assert allowed == 3
+
+    def test_limiter_reconfigure_rejects_nonpositive(self):
+        limiter = UnverifiedResponseLimiter()
+        with pytest.raises(ValueError):
+            limiter.reconfigure(-1.0, 1.0)
