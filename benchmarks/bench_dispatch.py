@@ -1,6 +1,6 @@
 """Event-dispatch micro-benchmark: events/s on the guarded flood workload.
 
-This is the measurement behind ``BENCH_profile.json`` (see ``python -m
+This is the measurement behind ``scripts/BENCH_profile.json`` (see ``python -m
 repro obs --bench-profile``): the P-rule first-wave fixes — ``__slots__``
 on per-event classes, interned names, memoized wire encodings, the
 AnsSimulator response/size caches and the route/address lookups — land

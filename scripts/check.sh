@@ -35,6 +35,31 @@ python -m repro control --fast --static-only --sanitize
 python -m repro control --fast --sanitize
 python -m repro control --fast --races --bench "$(mktemp -u).json"
 
+echo "== farm smoke (serial-vs-sharded digest equivalence + resume) =="
+farm_dir=$(mktemp -d)
+python -m repro farm --matrix smoke --fast --manifest "$farm_dir/serial.json" > /dev/null
+python -m repro farm --matrix smoke --fast --shards 2 --manifest "$farm_dir/sharded.json" > /dev/null
+digest_serial=$(python -c "import json,sys; print(json.load(open(sys.argv[1]))['digest'])" "$farm_dir/serial.json")
+digest_sharded=$(python -c "import json,sys; print(json.load(open(sys.argv[1]))['digest'])" "$farm_dir/sharded.json")
+if [ "$digest_serial" != "$digest_sharded" ]; then
+    echo "farm sharding changed the manifest digest:" >&2
+    echo "  serial : $digest_serial" >&2
+    echo "  sharded: $digest_sharded" >&2
+    exit 1
+fi
+# resume after a simulated kill: run 2 of 4 cells, then finish sharded
+python -m repro farm --matrix smoke --fast --stop-after 2 --manifest "$farm_dir/resumed.json" > /dev/null
+python -m repro farm --matrix smoke --fast --shards 2 --manifest "$farm_dir/resumed.json" --resume > /dev/null
+digest_resumed=$(python -c "import json,sys; print(json.load(open(sys.argv[1]))['digest'])" "$farm_dir/resumed.json")
+if [ "$digest_serial" != "$digest_resumed" ]; then
+    echo "farm resume diverged from the serial digest:" >&2
+    echo "  serial : $digest_serial" >&2
+    echo "  resumed: $digest_resumed" >&2
+    exit 1
+fi
+echo "manifest digest $digest_serial (sharded + resumed runs identical)"
+rm -rf "$farm_dir"
+
 echo "== observability smoke (obs showcase + obs-on/off trace parity) =="
 python -m repro obs --fast > /dev/null
 trace_off=$(python -m repro table2 --sanitize | tail -n 1)

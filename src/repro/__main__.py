@@ -73,7 +73,9 @@ def _cmd_fig5(args: argparse.Namespace) -> int:
 def _cmd_fig6(args: argparse.Namespace) -> int:
     from repro.experiments.fig6 import format_fig6, run_fig6
 
-    points = run_fig6(seed=args.seed, fast=args.fast)
+    points = run_fig6(
+        seed=args.seed, fast=args.fast, hybrid=getattr(args, "hybrid", False)
+    )
     print(format_fig6(points))
     if args.plot:
         from repro.experiments.plotting import plot_fig6
@@ -190,10 +192,75 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_faults(args: argparse.Namespace) -> int:
+    if getattr(args, "shards", 1) != 1 or getattr(args, "manifest", None):
+        # route through the farm: same planner, same cells, same digests
+        from repro.farm import run_farm
+        from repro.farm.runner import main_summary
+
+        result = run_farm(
+            "faults",
+            seed=args.seed,
+            fast=args.fast,
+            shards=args.shards,
+            manifest_path=args.manifest,
+            resume=args.resume,
+        )
+        main_summary(result)
+        return 0 if not result.failed else 1
     from repro.experiments.faults import format_faults, run_faults
 
     print(format_faults(run_faults(seed=args.seed, fast=args.fast)))
     return 0
+
+
+def _cmd_farm(args: argparse.Namespace) -> int:
+    from repro.farm import matrix_names, run_farm, write_bench_farm
+    from repro.farm.runner import main_summary
+
+    if args.list:
+        from repro.farm import MATRICES
+
+        for name in matrix_names():
+            print(f"{name:<10} {MATRICES[name].description}")
+        return 0
+    if args.bench:
+        # serial vs sharded wall-clock on the same matrix, plus the
+        # digest-equality witness, appended to the BENCH trajectory
+        serial = run_farm(args.matrix, seed=args.seed, fast=args.fast, shards=1)
+        sharded = run_farm(
+            args.matrix, seed=args.seed, fast=args.fast, shards=max(2, args.shards)
+        )
+        equal = serial.manifest.digest() == sharded.manifest.digest()
+        doc = write_bench_farm(
+            args.bench,
+            matrix=args.matrix,
+            cells=len(serial.cells),
+            serial_seconds=serial.wall_seconds,
+            sharded_seconds=sharded.wall_seconds,
+            shards=sharded.shards,
+            digests_equal=equal,
+        )
+        entry = doc["trajectory"][-1]
+        print(
+            f"{args.matrix}: {entry['cells']} cells — serial "
+            f"{entry['serial_seconds']}s vs {entry['shards']}-shard "
+            f"{entry['sharded_seconds']}s (speedup {entry['speedup']}x, "
+            f"digests {'equal' if equal else 'DIVERGED'})"
+        )
+        print(f"wrote {args.bench}")
+        return 0 if equal else 1
+    result = run_farm(
+        args.matrix,
+        seed=args.seed,
+        fast=args.fast,
+        shards=args.shards,
+        manifest_path=args.manifest,
+        resume=args.resume,
+        cell_timeout=args.cell_timeout,
+        stop_after=args.stop_after,
+    )
+    main_summary(result)
+    return 0 if not result.failed else 1
 
 
 def _cmd_control(args: argparse.Namespace) -> int:
@@ -294,6 +361,11 @@ _COMMANDS = {
         _cmd_faults,
         "Fault injection: blackout/flap/loss/chaos/restart/failover per scheme",
     ),
+    "farm": (
+        _cmd_farm,
+        "Sharded scenario farm: run a matrix across worker processes with a "
+        "resumable manifest and deterministic merge",
+    ),
     "control": (
         _cmd_control,
         "Adaptive overload control vs static schemes across attacks × faults",
@@ -364,7 +436,85 @@ def main(argv: list[str] | None = None) -> int:
                 metavar="PATH",
                 default=None,
                 help="write the event-loop profile as a BENCH_*.json document "
-                "(events/sec trajectory; e.g. BENCH_profile.json)",
+                "(events/sec trajectory; e.g. scripts/BENCH_profile.json)",
+            )
+        if name == "fig6":
+            sub.add_argument(
+                "--hybrid",
+                action="store_true",
+                help="use the hybrid fluid/packet client mode: the bulk "
+                "legitimate population runs as a fluid (10⁶ modeled stub "
+                "clients) with a packet-level foreground cohort",
+            )
+        if name == "faults":
+            sub.add_argument(
+                "--shards",
+                type=int,
+                default=1,
+                help="run the matrix across N worker processes via the farm",
+            )
+            sub.add_argument(
+                "--manifest",
+                metavar="PATH",
+                default=None,
+                help="persist the farm manifest (per-cell status/digests) here",
+            )
+            sub.add_argument(
+                "--resume",
+                action="store_true",
+                help="resume from --manifest, skipping cells already done",
+            )
+        if name == "farm":
+            sub.add_argument(
+                "--matrix",
+                default="faults",
+                help="which scenario matrix to run (see --list)",
+            )
+            sub.add_argument(
+                "--shards",
+                type=int,
+                default=1,
+                help="number of worker processes (1 = in-process serial)",
+            )
+            sub.add_argument(
+                "--manifest",
+                metavar="PATH",
+                default=None,
+                help="persist the resumable manifest (per-cell status, result "
+                "digest, trace hash) to PATH",
+            )
+            sub.add_argument(
+                "--resume",
+                action="store_true",
+                help="resume from --manifest, skipping cells already done",
+            )
+            sub.add_argument(
+                "--stop-after",
+                metavar="N",
+                type=int,
+                default=None,
+                help="run at most N pending cells then stop (deterministic "
+                "stand-in for a killed run; finish with --resume)",
+            )
+            sub.add_argument(
+                "--cell-timeout",
+                metavar="SECONDS",
+                type=float,
+                default=300.0,
+                help="per-cell wall-clock timeout in sharded runs "
+                "(default 300)",
+            )
+            sub.add_argument(
+                "--bench",
+                metavar="PATH",
+                default=None,
+                help="time serial vs sharded execution of the matrix and "
+                "append a dated entry to this BENCH_farm.json trajectory",
+            )
+            sub.add_argument(
+                "--list",
+                action="store_true",
+                help="list the registered matrices and exit",
             )
         if name == "control":
             sub.add_argument(
@@ -400,6 +550,15 @@ def main(argv: list[str] | None = None) -> int:
     ]
     if len(modes) > 1:
         parser.error(f"{' and '.join(modes)} are mutually exclusive")
+    if args.command == "farm" and modes:
+        # farm cells already run under per-cell trace capture (the manifest's
+        # trace hashes); nesting a second process-global collector is invalid
+        parser.error(
+            f"{modes[0]} is not supported for `farm` — per-cell trace hashes "
+            "in the manifest are the farm's determinism witness"
+        )
+    if args.command == "faults" and modes and (args.shards != 1 or args.manifest):
+        parser.error(f"{modes[0]} cannot be combined with --shards/--manifest")
 
     if args.sanitize:
         from repro.analysis.sanitizer import run_sanitized

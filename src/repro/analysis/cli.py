@@ -4,7 +4,8 @@ Runs the determinism lint (and, with ``--flow``, the taint-dataflow and
 FSM-conformance analyses plus suppression hygiene; with ``--races``, the
 static simultaneity rules R001/R002; with ``--perf``, the profile-guided
 hot-path cost rules P001–P006 weighted by ``--perf-profile``, default
-``BENCH_profile.json``) over the given paths (default: ``src``) and exits
+``scripts/BENCH_profile.json``) over the given paths (default: ``src``)
+and exits
 nonzero on findings, so it slots directly into CI and pre-commit.
 ``--baseline`` (repeatable) accepts known-findings files; ``--sarif``
 additionally writes the findings as a SARIF 2.1.0 document for
@@ -182,10 +183,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--perf-profile",
         metavar="FILE",
-        default="BENCH_profile.json",
+        default="scripts/BENCH_profile.json",
         help=(
             "handler-timing profile weighting the perf rules (default: "
-            "BENCH_profile.json; a missing file just disables weighting)"
+            "scripts/BENCH_profile.json; a missing file just disables "
+            "weighting)"
         ),
     )
     parser.add_argument(

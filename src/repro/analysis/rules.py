@@ -402,29 +402,40 @@ _ACTUATOR_ENTRY_POINTS = frozenset(
 class ObserveOnly(LintRule):
     id = "W002"
     summary = (
-        "repro.obs must never schedule events, touch Simulator.rng, or call "
-        "guard actuators"
+        "repro.obs must stay observe-only and repro.farm must stay seed-pure: "
+        "no actuator calls, no private RNGs"
     )
     rationale = (
         "the observability layer is a read-only tap: if it schedules events, "
         "draws randomness, or calls a mutating guard/limiter entry point "
         "(the actuator seam reserved for repro.control), enabling it changes "
-        "the event trace and every --sanitize parity guarantee breaks; obs "
-        "code may only read simulator state"
+        "the event trace and every --sanitize parity guarantee breaks; farm "
+        "workers carry the same discipline — a worker that actuates a guard "
+        "or constructs its own random.Random breaks the contract that a "
+        "cell's result depends only on (matrix, params, derived seed), so "
+        "farm randomness must flow from the per-cell seed "
+        "(Cell.seed / Simulator.child_rng)"
     )
 
     @staticmethod
-    def _applies(path: str) -> bool:
-        return "repro/obs/" in path.replace("\\", "/")
+    def _scope(path: str) -> str | None:
+        p = path.replace("\\", "/")
+        if "repro/obs/" in p:
+            return "obs"
+        if "repro/farm/" in p:
+            return "farm"
+        return None
 
     def check(self, tree: ast.AST, path: str) -> Iterator[Finding]:
-        if not self._applies(path):
+        scope = self._scope(path)
+        if scope is None:
             return
         for node in ast.walk(tree):
             if isinstance(node, ast.Call):
                 func = node.func
                 if (
-                    isinstance(func, ast.Attribute)
+                    scope == "obs"
+                    and isinstance(func, ast.Attribute)
                     and func.attr in _OBS_FORBIDDEN_CALLS
                 ):
                     yield self.finding(
@@ -437,15 +448,29 @@ class ObserveOnly(LintRule):
                     isinstance(func, ast.Attribute)
                     and func.attr in _ACTUATOR_ENTRY_POINTS
                 ):
-                    yield self.finding(
-                        path,
-                        node,
-                        f".{func.attr}() call in observability code — mutating "
-                        "guard/limiter entry points are the control plane's "
-                        "actuator seam (repro.control); observation must not "
-                        "participate",
+                    where = (
+                        "observability code — mutating guard/limiter entry "
+                        "points are the control plane's actuator seam "
+                        "(repro.control); observation must not participate"
+                        if scope == "obs"
+                        else "farm code — farm workers may not call mutating "
+                        "guard/limiter entry points outside the sanctioned "
+                        "actuator seam (repro.control); a cell's result must "
+                        "depend only on its params and derived seed"
                     )
-            elif isinstance(node, ast.Attribute) and node.attr == "rng":
+                    yield self.finding(path, node, f".{func.attr}() call in {where}")
+                elif scope == "farm":
+                    name = dotted_name(func)
+                    if name in ("random.Random", "Random"):
+                        yield self.finding(
+                            path,
+                            node,
+                            f"{name}() constructed in farm code — farm "
+                            "randomness must derive from the per-cell seed "
+                            "(Cell.seed / Simulator.child_rng), never a "
+                            "private RNG",
+                        )
+            elif scope == "obs" and isinstance(node, ast.Attribute) and node.attr == "rng":
                 yield self.finding(
                     path,
                     node,

@@ -213,21 +213,77 @@ def _run_cell(
     )
 
 
-def run_faults(seed: int = 0, *, fast: bool = False) -> list[FaultCell]:
-    """Every scenario x scheme cell, baseline first so added latency is
-    computed against the same run's fault-free mean."""
-    warmup, window = (0.15, 0.4) if fast else (0.25, 1.0)
-    cells: list[FaultCell] = []
+def _windows(fast: bool) -> tuple[float, float]:
+    return (0.15, 0.4) if fast else (0.25, 1.0)
+
+
+def plan_cells(
+    seed: int = 0,
+    *,
+    fast: bool = False,
+    scenarios: tuple[str, ...] = SCENARIOS,
+    schemes: tuple[str, ...] = SCHEMES,
+    matrix: str = "faults",
+) -> list:
+    """The faults matrix as farm cells, in canonical (scenario, scheme) order.
+
+    This is the single source of cell definitions: the serial experiment
+    (:func:`run_faults`) and the sharded farm both expand the matrix here,
+    so a cell's identity — and its derived per-cell seed — is the same
+    whether it runs in-process, on shard k of n, or after a resume.
+    """
+    from ..farm.planner import expand
+
+    return expand(
+        matrix,
+        [("scenario", scenarios), ("scheme", schemes)],
+        base_seed=seed,
+        fast=fast,
+    )
+
+
+def run_matrix_cell(params: dict[str, str], seed: int, fast: bool) -> dict:
+    """Run one planned cell; the farm worker entry point for this matrix.
+
+    ``added_latency_ms`` stays 0 here — it is a cross-cell quantity filled
+    in by :func:`reduce_matrix` against the same scheme's baseline cell.
+    """
+    warmup, window = _windows(fast)
+    cell = _run_cell(
+        params["scheme"], params["scenario"], seed=seed, warmup=warmup, window=window
+    )
+    return dataclasses.asdict(cell)
+
+
+def reduce_matrix(cells: list, results: list[dict]) -> list[FaultCell]:
+    """Deterministic merge: results in canonical plan order -> FaultCells.
+
+    Baseline cells come first in plan order, so each scheme's fault-free
+    latency is known before any faulted cell of that scheme is reduced.
+    """
+    merged: list[FaultCell] = []
     baseline_latency: dict[str, float] = {}
-    for scenario in SCENARIOS:
-        for scheme in SCHEMES:
-            cell = _run_cell(scheme, scenario, seed=seed, warmup=warmup, window=window)
-            if scenario == "baseline":
-                baseline_latency[scheme] = cell.mean_latency_ms
-            else:
-                cell.added_latency_ms = cell.mean_latency_ms - baseline_latency[scheme]
-            cells.append(cell)
-    return cells
+    for result in results:
+        cell = FaultCell(**result)
+        if cell.scenario == "baseline":
+            baseline_latency[cell.scheme] = cell.mean_latency_ms
+        else:
+            cell.added_latency_ms = cell.mean_latency_ms - baseline_latency[cell.scheme]
+        merged.append(cell)
+    return merged
+
+
+def run_faults(seed: int = 0, *, fast: bool = False) -> list[FaultCell]:
+    """Every scenario x scheme cell, serially, through the farm planner.
+
+    Each cell runs under its own derived seed (see
+    :func:`repro.farm.planner.derive_cell_seed`), so this serial loop and
+    a sharded ``python -m repro faults --shards N`` produce byte-identical
+    per-cell results.
+    """
+    cells = plan_cells(seed, fast=fast)
+    results = [run_matrix_cell(cell.param_dict(), cell.seed, fast) for cell in cells]
+    return reduce_matrix(cells, results)
 
 
 def format_faults(cells: list[FaultCell]) -> str:

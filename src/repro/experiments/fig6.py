@@ -77,14 +77,47 @@ def run_point(
     return Fig6Point(attack_rate, protection, legit, guard_cpu, ans_cpu)
 
 
+def run_hybrid_fig6_point(
+    attack_rate: float, protection: bool, *, seed: int = 0, fast: bool = False
+) -> Fig6Point:
+    """One Figure 6 sample via the farm's hybrid fluid/packet mode.
+
+    The saturating legitimate population runs as a fluid of 10⁶ modeled
+    stub clients instead of one high-concurrency packet loop; the curves
+    land on the same axes, a few thousand events per point.
+    """
+    from ..farm.hybrid import run_hybrid_point
+
+    kwargs = {"warmup": 0.1, "duration": 0.2} if fast else {}
+    point = run_hybrid_point(
+        attack_rate, protection, seed=seed, clients=1_000_000, **kwargs
+    )
+    return Fig6Point(
+        attack_rate=point.attack_rate,
+        protection=point.protection,
+        legit_throughput=point.fluid_served_rate,
+        guard_cpu=point.guard_cpu,
+        ans_cpu=point.ans_cpu,
+    )
+
+
 def run_fig6(
-    attack_rates=DEFAULT_ATTACK_RATES, *, seed: int = 0, fast: bool = False
+    attack_rates=DEFAULT_ATTACK_RATES,
+    *,
+    seed: int = 0,
+    fast: bool = False,
+    hybrid: bool = False,
 ) -> list[Fig6Point]:
     kwargs = {"warmup": 0.15, "duration": 0.2, "concurrency": 128} if fast else {}
     points = []
     for protection in (True, False):
         for rate in attack_rates:
-            points.append(run_point(rate, protection, seed=seed, **kwargs))
+            if hybrid:
+                points.append(
+                    run_hybrid_fig6_point(rate, protection, seed=seed, fast=fast)
+                )
+            else:
+                points.append(run_point(rate, protection, seed=seed, **kwargs))
     return points
 
 

@@ -87,6 +87,47 @@ class FluidModel:
         capacity = 1.0 / self.ans_cost
         return max(0.0, capacity - attack_rate)
 
+    # -- Hybrid fluid/packet mode (repro.farm.hybrid) -----------------------------
+    #
+    # These closed forms are the calibration reference for the farm's
+    # hybrid client mode: a hybrid cell's measured guard/ANS utilisation
+    # and bulk served rate must stay within a stated tolerance of them
+    # (cross-validated in tests/farm/test_hybrid.py).
+
+    def hybrid_guard_cpu(
+        self, legit_rate: float, attack_rate: float, *, protection: bool = True
+    ) -> float:
+        """Expected guard utilisation under mixed fluid load."""
+        if protection:
+            load = legit_rate * self.request_cost(
+                "modified", cache_hit=True
+            ) + attack_rate * self.attack_drop_cost()
+        else:
+            load = (legit_rate + attack_rate) * self.costs.forward
+        return min(1.0, max(0.0, load))
+
+    def hybrid_ans_cpu(
+        self, legit_served_rate: float, attack_rate: float, *, protection: bool = True
+    ) -> float:
+        """Expected ANS utilisation given the bulk load actually served."""
+        rate = legit_served_rate + (0.0 if protection else attack_rate)
+        return min(1.0, max(0.0, rate * self.ans_cost))
+
+    def hybrid_served_rate(
+        self, legit_rate: float, attack_rate: float, *, protection: bool = True
+    ) -> float:
+        """Expected bulk legitimate served rate under a spoofed flood."""
+        if protection:
+            budget = 1.0 - attack_rate * self.attack_drop_cost()
+            if budget <= 0:
+                return 0.0
+            guard_limit = budget / self.request_cost("modified", cache_hit=True)
+            return min(legit_rate, guard_limit, 1.0 / self.ans_cost)
+        # unprotected: the guard merely forwards, and the flood competes
+        # for the ANS's CPU at full service cost
+        ans_left = max(0.0, 1.0 / self.ans_cost - attack_rate)
+        return min(legit_rate, ans_left)
+
     # -- Figure 7 ------------------------------------------------------------------
 
     def tcp_proxy_throughput(self, concurrency: int) -> float:

@@ -4,7 +4,7 @@ This is the one deliberate exception to the repo's "no wall-clock"
 rule: the profiler measures how fast the *simulator itself* runs on the
 host — events per second, which handler callables burn the time, how
 deep the event heap gets — to seed the repo's perf trajectory
-(``BENCH_profile.json``).  Wall-clock readings never feed back into
+(``scripts/BENCH_profile.json``).  Wall-clock readings never feed back into
 simulated behaviour; they are recorded and exported, nothing else, so
 determinism is untouched.
 

@@ -431,3 +431,83 @@ class TestW002ActuatorSeam:
             """
         )
         assert not found
+
+
+class TestW002FarmSeedPurity:
+    """Farm workers: no actuator calls, every RNG from the per-cell seed."""
+
+    FARM_PATH = "src/repro/farm/worker.py"
+
+    def _findings(self, source: str, path: str = FARM_PATH):
+        found = lint_source(textwrap.dedent(source), path=path)
+        return [f for f in found if f.rule == "W002"]
+
+    def test_flags_private_rng_in_worker(self):
+        """The seeded-mutation witness: slip a random.Random() into a farm
+        worker and W002 must fire — even with an explicit seed, because
+        cell randomness must derive from the per-cell seed alone."""
+        found = self._findings(
+            """
+            import random
+
+            def run_cell(params, seed, fast):
+                rng = random.Random()
+                jitter = random.Random(42)
+            """
+        )
+        assert len(found) == 2
+        assert all("per-cell seed" in f.message for f in found)
+
+    def test_flags_bare_random_constructor(self):
+        found = self._findings(
+            """
+            from random import Random
+
+            def run_cell(params, seed, fast):
+                return Random(seed).random()
+            """
+        )
+        assert len(found) == 1
+
+    def test_flags_actuator_calls_from_farm(self):
+        found = self._findings(
+            """
+            def run_cell(guard):
+                guard.set_policy("drop")
+                guard.rotate_cookie_key(b"k")
+            """
+        )
+        assert len(found) == 2
+        assert all("sanctioned" in f.message for f in found)
+
+    def test_schedule_allowed_in_farm(self):
+        """Unlike obs, farm code may schedule events — the hybrid fluids
+        tick on the simulator; only actuators and private RNGs are out."""
+        source = """
+        def start(self):
+            self._handle = self.sim.schedule(self.tick, self._on_tick)
+            stream = self.sim.child_rng("farm")
+        """
+        assert not self._findings(source)
+
+    def test_other_packages_unaffected(self):
+        source = """
+        def run_cell(params, seed, fast):
+            import random
+            return random.Random(seed)
+        """
+        assert not self._findings(source, path="src/repro/experiments/faults.py")
+
+    def test_whole_farm_package_is_clean(self):
+        import pathlib
+
+        import repro.farm
+
+        package_dir = pathlib.Path(repro.farm.__file__).parent
+        for path in sorted(package_dir.glob("*.py")):
+            found = [
+                f
+                for f in lint_source(path.read_text(), path=str(path))
+                if f.rule == "W002"
+            ]
+            assert not found, f"{path}: {found}"

@@ -34,3 +34,22 @@ class TestCli:
         from repro.__main__ import _COMMANDS
 
         assert "faults" in _COMMANDS
+
+    def test_farm_list(self, capsys):
+        assert main(["farm", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "faults" in out and "hybrid" in out and "smoke" in out
+
+    def test_farm_serial_selftest(self, capsys, tmp_path):
+        manifest = str(tmp_path / "m.json")
+        # the selftest matrix includes one always-failing cell -> exit 1
+        assert main(["farm", "--matrix", "selftest", "--manifest", manifest]) == 1
+        out = capsys.readouterr().out
+        assert "manifest digest:" in out
+        assert "failed: selftest/behaviour=boom" in out
+
+    def test_farm_rejects_sanitize_modes(self):
+        with pytest.raises(SystemExit):
+            main(["farm", "--matrix", "smoke", "--sanitize"])
+        with pytest.raises(SystemExit):
+            main(["faults", "--shards", "2", "--races"])

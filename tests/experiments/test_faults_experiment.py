@@ -10,6 +10,9 @@ from repro.experiments.faults import (
     _plan_for,
     _run_cell,
     format_faults,
+    plan_cells,
+    reduce_matrix,
+    run_matrix_cell,
 )
 
 
@@ -34,6 +37,54 @@ class TestScenarioMatrix:
         env = _build("ns_name", seed=0)
         with pytest.raises(ValueError):
             _plan_for("nonsense", env, 0.1, 1.0)
+
+
+class TestPlannerDelegation:
+    """run_faults expands through the farm planner: one cell definition,
+    identical identities and derived seeds solo, serial, or sharded."""
+
+    def test_plan_covers_full_matrix_in_canonical_order(self):
+        cells = plan_cells(seed=0)
+        assert len(cells) == len(SCENARIOS) * len(SCHEMES)
+        assert [c.param_dict()["scenario"] for c in cells[: len(SCHEMES)]] == [
+            "baseline"
+        ] * len(SCHEMES)
+        assert cells[0].cell_id == "faults/scenario=baseline/scheme=modified"
+        seeds = {c.seed for c in cells}
+        assert len(seeds) == len(cells)  # every cell gets its own stream
+
+    def test_run_matrix_cell_matches_direct_run(self):
+        import dataclasses
+
+        cell = plan_cells(seed=0, fast=True)[0]
+        via_farm = run_matrix_cell(cell.param_dict(), cell.seed, True)
+        direct = dataclasses.asdict(
+            _run_cell("modified", "baseline", seed=cell.seed, warmup=0.15, window=0.4)
+        )
+        assert via_farm == direct
+
+    def test_reduce_fills_added_latency_in_plan_order(self):
+        def row(scenario, scheme, latency):
+            return {
+                "scenario": scenario,
+                "scheme": scheme,
+                "sent": 10,
+                "completed": 10,
+                "timeouts": 0,
+                "availability": 1.0,
+                "mean_latency_ms": latency,
+                "added_latency_ms": 0.0,
+                "false_rejects": 0,
+            }
+
+        cells = plan_cells(
+            seed=0, scenarios=("baseline", "uplink-flap"), schemes=("modified",)
+        )
+        merged = reduce_matrix(
+            cells, [row("baseline", "modified", 2.0), row("uplink-flap", "modified", 3.5)]
+        )
+        assert merged[0].added_latency_ms == 0.0
+        assert merged[1].added_latency_ms == pytest.approx(1.5)
 
 
 class TestSingleCells:

@@ -1,0 +1,150 @@
+"""Manifest contract: round-trip, digest invariance, atomic save, resume."""
+
+import json
+
+import pytest
+
+from repro.farm.manifest import (
+    DONE,
+    FAILED,
+    TIMEOUT,
+    CellRecord,
+    Manifest,
+    result_digest,
+)
+
+
+def _manifest(path=None):
+    return Manifest(
+        matrix="m", base_seed=0, fast=False, plan_digest="abc123", path=path
+    )
+
+
+def _done(cell_id, seed=1, value=42):
+    result = {"value": value}
+    return CellRecord(
+        cell_id=cell_id,
+        seed=seed,
+        status=DONE,
+        result=result,
+        result_digest=result_digest(result),
+        trace_hash="t" * 32,
+    )
+
+
+class TestResultDigest:
+    def test_canonical_key_order(self):
+        assert result_digest({"a": 1, "b": 2}) == result_digest({"b": 2, "a": 1})
+
+    def test_value_sensitive(self):
+        assert result_digest({"a": 1}) != result_digest({"a": 2})
+
+
+class TestRecords:
+    def test_done_and_failed_views(self):
+        m = _manifest()
+        m.record(_done("m/x=1"))
+        m.record(CellRecord(cell_id="m/x=2", seed=2, status=FAILED, error="boom"))
+        m.record(CellRecord(cell_id="m/x=3", seed=3, status=TIMEOUT, error="slow"))
+        assert m.done_cells() == {"m/x=1"}
+        assert m.failed_cells() == ["m/x=2", "m/x=3"]
+        assert m.status_of("m/x=1") == DONE
+        assert m.status_of("m/x=9") is None
+
+    def test_rerecording_replaces(self):
+        m = _manifest()
+        m.record(CellRecord(cell_id="m/x=1", seed=1, status=FAILED, error="boom"))
+        m.record(_done("m/x=1"))
+        assert m.failed_cells() == []
+
+
+class TestDigest:
+    def test_timings_and_runs_excluded(self):
+        """Serial and sharded runs differ only in wall-clock metadata —
+        the digest must not see it."""
+        a, b = _manifest(), _manifest()
+        a.record(_done("m/x=1"), wall_seconds=0.5)
+        b.record(_done("m/x=1"), wall_seconds=99.0)
+        a.runs.append({"shards": 1, "wall_seconds": 10.0})
+        b.runs.append({"shards": 16, "wall_seconds": 0.1})
+        assert a.digest() == b.digest()
+
+    def test_error_text_excluded(self):
+        """Tracebacks vary across processes; failure status still digests."""
+        a, b = _manifest(), _manifest()
+        a.record(CellRecord(cell_id="m/x=1", seed=1, status=FAILED, error="tb one"))
+        b.record(CellRecord(cell_id="m/x=1", seed=1, status=FAILED, error="tb two"))
+        assert a.digest() == b.digest()
+
+    def test_result_and_status_included(self):
+        a, b, c = _manifest(), _manifest(), _manifest()
+        a.record(_done("m/x=1", value=1))
+        b.record(_done("m/x=1", value=2))
+        c.record(CellRecord(cell_id="m/x=1", seed=1, status=FAILED))
+        assert a.digest() != b.digest()
+        assert a.digest() != c.digest()
+
+    def test_insertion_order_irrelevant(self):
+        a, b = _manifest(), _manifest()
+        a.record(_done("m/x=1"))
+        a.record(_done("m/x=2"))
+        b.record(_done("m/x=2"))
+        b.record(_done("m/x=1"))
+        assert a.digest() == b.digest()
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "manifest.json")
+        m = _manifest(path)
+        m.record(_done("m/x=1"), wall_seconds=0.25)
+        m.record(CellRecord(cell_id="m/x=2", seed=2, status=FAILED, error="boom"))
+        m.runs.append({"shards": 2, "cells_ran": 2})
+        m.save()
+
+        loaded = Manifest.load(path)
+        assert loaded.digest() == m.digest()
+        assert loaded.done_cells() == {"m/x=1"}
+        assert loaded.records["m/x=1"].result == {"value": 42}
+        assert loaded.records["m/x=2"].error == "boom"
+        assert loaded.timings == {"m/x=1": 0.25}
+        assert loaded.runs == [{"shards": 2, "cells_ran": 2}]
+
+    def test_save_is_atomic(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        m = _manifest(str(path))
+        m.record(_done("m/x=1"))
+        m.save()
+        assert not path.with_suffix(".json.tmp").exists()
+        assert json.loads(path.read_text())["digest"] == m.digest()
+
+    def test_save_without_path_is_noop(self):
+        _manifest().save()
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps({"version": 999}))
+        with pytest.raises(ValueError, match="version"):
+            Manifest.load(str(path))
+
+
+class TestCompatibleWith:
+    def test_matching_plan_accepted(self):
+        m = _manifest()
+        assert m.compatible_with(
+            matrix="m", base_seed=0, fast=False, plan_digest="abc123"
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"matrix": "other"},
+            {"base_seed": 1},
+            {"fast": True},
+            {"plan_digest": "zzz"},
+        ],
+    )
+    def test_any_plan_drift_rejected(self, kwargs):
+        m = _manifest()
+        base = {"matrix": "m", "base_seed": 0, "fast": False, "plan_digest": "abc123"}
+        assert not m.compatible_with(**{**base, **kwargs})

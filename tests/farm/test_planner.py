@@ -1,0 +1,77 @@
+"""Planner contract: canonical order, stable per-cell seeds, plan digests."""
+
+import hashlib
+
+from repro.farm.planner import Cell, derive_cell_seed, expand, plan_digest
+
+
+class TestDeriveCellSeed:
+    def test_matches_child_rng_construction(self):
+        """Same BLAKE2b recipe as Simulator.child_rng: blake2b(seed\\x00name)."""
+        material = "7\x00faults/scenario=baseline/scheme=tcp".encode()
+        expected = int.from_bytes(
+            hashlib.blake2b(material, digest_size=8).digest(), "big"
+        )
+        assert derive_cell_seed(7, "faults/scenario=baseline/scheme=tcp") == expected
+
+    def test_stable_across_calls(self):
+        assert derive_cell_seed(0, "m/a=1") == derive_cell_seed(0, "m/a=1")
+
+    def test_distinct_cells_distinct_seeds(self):
+        seeds = {derive_cell_seed(0, f"m/a={i}") for i in range(64)}
+        assert len(seeds) == 64
+
+    def test_base_seed_changes_every_cell_seed(self):
+        assert derive_cell_seed(0, "m/a=1") != derive_cell_seed(1, "m/a=1")
+
+
+class TestExpand:
+    def test_canonical_declaration_major_order(self):
+        cells = expand(
+            "m", [("x", ("1", "2")), ("y", ("a", "b"))], base_seed=0, fast=False
+        )
+        assert [c.cell_id for c in cells] == [
+            "m/x=1/y=a",
+            "m/x=1/y=b",
+            "m/x=2/y=a",
+            "m/x=2/y=b",
+        ]
+
+    def test_values_stringified(self):
+        cells = expand("m", [("rate", (0, 100_000))], base_seed=0, fast=False)
+        assert cells[1].param_dict() == {"rate": "100000"}
+
+    def test_cell_seed_independent_of_position(self):
+        """A cell's seed depends only on (base_seed, cell_id) — reordering
+        or subsetting the matrix never changes an individual cell's run."""
+        full = expand("m", [("x", ("1", "2", "3"))], base_seed=5, fast=False)
+        solo = expand("m", [("x", ("2",))], base_seed=5, fast=False)
+        full_by_id = {c.cell_id: c.seed for c in full}
+        assert full_by_id["m/x=2"] == solo[0].seed
+
+    def test_fast_flag_carried_not_in_identity(self):
+        slow = expand("m", [("x", ("1",))], base_seed=0, fast=False)
+        fast = expand("m", [("x", ("1",))], base_seed=0, fast=True)
+        assert slow[0].cell_id == fast[0].cell_id
+        assert slow[0].seed == fast[0].seed
+
+
+class TestPlanDigest:
+    def _cells(self, base_seed=0, fast=False):
+        return expand(
+            "m", [("x", ("1", "2")), ("y", ("a",))], base_seed=base_seed, fast=fast
+        )
+
+    def test_identical_plans_identical_digest(self):
+        assert plan_digest(self._cells()) == plan_digest(self._cells())
+
+    def test_digest_sensitive_to_seed_fast_and_axes(self):
+        base = plan_digest(self._cells())
+        assert plan_digest(self._cells(base_seed=1)) != base
+        assert plan_digest(self._cells(fast=True)) != base
+        reordered = list(reversed(self._cells()))
+        assert plan_digest(reordered) != base
+
+    def test_cell_is_hashable_and_frozen(self):
+        cell = Cell(matrix="m", params=(("x", "1"),), base_seed=0, fast=False)
+        assert cell in {cell}
