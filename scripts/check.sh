@@ -5,10 +5,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== static analysis (lint + taint dataflow + FSM conformance + races + perf) =="
-python -m repro.analysis --flow --races --perf \
+echo "== static analysis (lint + taint dataflow + FSM conformance + races + perf + memory) =="
+python -m repro.analysis --flow --races --perf --memory \
     --baseline scripts/flow_baseline.json \
     --baseline scripts/perf_baseline.json \
+    --baseline scripts/memory_baseline.json \
+    --fail-on warning \
     --sarif "${SARIF_OUT:-/dev/null}" src
 
 echo "== README rule table drift check =="
@@ -23,6 +25,9 @@ python -m repro table2 --sanitize --seed 7
 
 echo "== fault-injection smoke (faults, sanitized) =="
 python -m repro faults --fast --sanitize
+
+echo "== state-bounds high-water smoke (faults flood under the M006 monitor) =="
+python -m repro faults --fast --memory
 
 echo "== simultaneity races (interference monitor + schedule exploration) =="
 python -m repro table2 --races

@@ -5,9 +5,11 @@ Each accepts ``--fast`` for a reduced (but representative) configuration,
 ``--seed`` for reproducibility, and three mutually exclusive analysis
 modes that replace the normal output: ``--sanitize`` (run twice, compare
 event-trace hashes), ``--races`` (run under the tie-group interference
-monitor, report R003/R004 simultaneity races), and ``--explore N`` (run
+monitor, report R003/R004 simultaneity races), ``--explore N`` (run
 N extra times with seeded permutations of conflicting tie groups and
-assert canonical-trace invariance).
+assert canonical-trace invariance), and ``--memory`` (run under the
+state-bounds high-water monitor and fail if any ``__state_bounds__``
+declaration is exceeded, M006).
 """
 
 from __future__ import annotations
@@ -419,6 +421,12 @@ def main(argv: list[str] | None = None) -> int:
             "of conflicting tie groups and assert trace invariance",
         )
         sub.add_argument(
+            "--memory",
+            action="store_true",
+            help="run the command under the state-bounds high-water monitor "
+            "and fail if any __state_bounds__ declaration is exceeded (M006)",
+        )
+        sub.add_argument(
             "--obs",
             metavar="DIR",
             default=None,
@@ -545,6 +553,7 @@ def main(argv: list[str] | None = None) -> int:
             ("--sanitize", args.sanitize),
             ("--races", args.races),
             ("--explore", args.explore is not None),
+            ("--memory", args.memory),
         )
         if active
     ]
@@ -578,6 +587,12 @@ def main(argv: list[str] | None = None) -> int:
         report = explore(invoke, permutations=args.explore, seed=args.seed)
         print(report.summary())
         return 0 if report.invariant else 1
+    if args.memory:
+        from repro.analysis.memory import run_bounds_monitored
+
+        report = run_bounds_monitored(invoke)
+        print(report.summary())
+        return 0 if report.ok else 1
     return invoke()
 
 

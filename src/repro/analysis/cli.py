@@ -1,12 +1,14 @@
-"""``python -m repro.analysis [--flow] [--races] [--perf] [--sarif OUT] [paths...]``.
+"""``python -m repro.analysis [--flow] [--races] [--perf] [--memory] [paths...]``.
 
 Runs the determinism lint (and, with ``--flow``, the taint-dataflow and
 FSM-conformance analyses plus suppression hygiene; with ``--races``, the
 static simultaneity rules R001/R002; with ``--perf``, the profile-guided
 hot-path cost rules P001–P006 weighted by ``--perf-profile``, default
-``scripts/BENCH_profile.json``) over the given paths (default: ``src``)
-and exits
-nonzero on findings, so it slots directly into CI and pre-commit.
+``scripts/BENCH_profile.json``; with ``--memory``, the state-exhaustion
+rules M001–M005 over ``__state_bounds__`` declarations) over the given
+paths (default: ``src``).  The exit code follows the ``--fail-on``
+severity contract — by default any finding exits nonzero — so it slots
+directly into CI and pre-commit.
 ``--baseline`` (repeatable) accepts known-findings files; ``--sarif``
 additionally writes the findings as a SARIF 2.1.0 document for
 code-scanning upload; ``--rules-md`` / ``--rules-md-check`` generate and
@@ -31,6 +33,7 @@ RULES_MD_END = "<!-- rules:end -->"
 
 def _rule_table() -> str:
     from .flow.engine import flow_rule_table
+    from .memory.engine import memory_rule_table
     from .perf.engine import perf_rule_table
     from .races.engine import race_rule_table
 
@@ -47,12 +50,15 @@ def _rule_table() -> str:
         + race_rule_table()
         + "\n\n"
         + perf_rule_table()
+        + "\n\n"
+        + memory_rule_table()
     )
 
 
 def _rule_rows() -> list[tuple[str, str, str, str]]:
     """(id, family, summary, rationale) for every registered rule."""
     from .flow.engine import FLOW_RULES
+    from .memory.engine import MEMORY_RULES
     from .perf.engine import PERF_RULES
     from .races.engine import RACE_RULES
 
@@ -69,7 +75,7 @@ def _rule_rows() -> list[tuple[str, str, str, str]]:
             "nothing can be checked in unparsable code",
         )
     )
-    for registry in (FLOW_RULES, RACE_RULES, PERF_RULES):
+    for registry in (FLOW_RULES, RACE_RULES, PERF_RULES, MEMORY_RULES):
         for rule_id in sorted(registry):
             rule = registry[rule_id]
             rows.append((rule_id, rule.family, rule.summary, rule.rationale))
@@ -101,9 +107,10 @@ def _replace_rules_block(text: str, block: str) -> str | None:
 
 def _split_rule_ids(
     raw: str,
-) -> tuple[list[str], list[str], list[str], list[str], list[str]]:
-    """Partition ``--rules`` into (lint, flow, race, perf, unknown) ids."""
+) -> tuple[list[str], list[str], list[str], list[str], list[str], list[str]]:
+    """Partition ``--rules`` into (lint, flow, race, perf, memory, unknown)."""
     from .flow.engine import FLOW_RULES
+    from .memory.engine import MEMORY_RULES
     from .perf.engine import PERF_RULES
     from .races.engine import RACE_RULES
 
@@ -111,6 +118,7 @@ def _split_rule_ids(
     flow_ids: list[str] = []
     race_ids: list[str] = []
     perf_ids: list[str] = []
+    memory_ids: list[str] = []
     unknown: list[str] = []
     for part in raw.split(","):
         rule_id = part.strip()
@@ -124,9 +132,31 @@ def _split_rule_ids(
             race_ids.append(rule_id)
         elif rule_id in PERF_RULES:
             perf_ids.append(rule_id)
+        elif rule_id in MEMORY_RULES:
+            memory_ids.append(rule_id)
         else:
             unknown.append(rule_id)
-    return lint_ids, flow_ids, race_ids, perf_ids, unknown
+    return lint_ids, flow_ids, race_ids, perf_ids, memory_ids, unknown
+
+
+#: Severity ordering for the ``--fail-on`` exit-code contract.
+_SEVERITY_RANK = {"note": 0, "warning": 1, "error": 2}
+
+
+def _severity_of(rule_id: str) -> str:
+    """The registered severity for ``rule_id`` (unknown ids rank as error)."""
+    from .flow.engine import FLOW_RULES
+    from .memory.engine import MEMORY_RULES
+    from .perf.engine import PERF_RULES
+    from .races.engine import RACE_RULES
+
+    if rule_id in RULES:
+        return getattr(RULES[rule_id], "severity", "error")
+    for registry in (FLOW_RULES, RACE_RULES, PERF_RULES, MEMORY_RULES):
+        rule = registry.get(rule_id)
+        if rule is not None:
+            return getattr(rule, "severity", "error")
+    return "error"
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -178,6 +208,23 @@ def main(argv: list[str] | None = None) -> int:
         help=(
             "also run the profile-guided hot-path cost rules (P001-P006) "
             "over schedule-site callbacks and Node.receive reachability"
+        ),
+    )
+    parser.add_argument(
+        "--memory",
+        action="store_true",
+        help=(
+            "also run the state-exhaustion rules (M001-M005) over "
+            "__state_bounds__ declarations, taint surfaces and the hot set"
+        ),
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "note"),
+        default="note",
+        help=(
+            "lowest severity that makes the exit code nonzero (default: "
+            "note — any finding fails, the historical behaviour)"
         ),
     )
     parser.add_argument(
@@ -264,26 +311,31 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         return 0
 
-    lint_ids = flow_ids = race_ids = perf_ids = None
+    lint_ids = flow_ids = race_ids = perf_ids = memory_ids = None
     run_flow = args.flow
     run_races = args.races
     run_perf = args.perf
+    run_memory = args.memory
     if args.rules:
-        lint_ids, flow_ids, race_ids, perf_ids, unknown = _split_rule_ids(args.rules)
+        lint_ids, flow_ids, race_ids, perf_ids, memory_ids, unknown = _split_rule_ids(
+            args.rules
+        )
         if unknown:
             print(
                 f"error: unknown rule ids: {', '.join(sorted(unknown))}",
                 file=sys.stderr,
             )
             return 2
-        # asking for a flow/race/perf rule implies running that engine
+        # asking for a flow/race/perf/memory rule implies running that engine
         run_flow = run_flow or bool(flow_ids)
         run_races = run_races or bool(race_ids)
         run_perf = run_perf or bool(perf_ids)
+        run_memory = run_memory or bool(memory_ids)
 
     try:
-        if run_flow or run_races or run_perf:
+        if run_flow or run_races or run_perf or run_memory:
             from .flow.engine import FLOW_RULES, analyze_paths
+            from .memory.engine import MEMORY_RULES, analyze_memory
             from .perf.engine import PERF_RULES, analyze_perf
             from .races.engine import RACE_RULES, analyze_races
 
@@ -306,11 +358,21 @@ def main(argv: list[str] | None = None) -> int:
                         profile=args.perf_profile,
                     )
                 )
+            if run_memory and (memory_ids is None or memory_ids):
+                findings.extend(
+                    analyze_memory(
+                        args.paths,
+                        rule_ids=memory_ids,
+                        tracker=tracker,
+                        profile=args.perf_profile,
+                    )
+                )
             known = (
                 set(RULES)
                 | set(FLOW_RULES)
                 | set(RACE_RULES)
                 | set(PERF_RULES)
+                | set(MEMORY_RULES)
                 | {SYNTAX_ERROR_RULE}
             )
             findings.extend(tracker.unused_findings(known))
@@ -359,7 +421,11 @@ def main(argv: list[str] | None = None) -> int:
     except BrokenPipeError:
         # reader (e.g. `| head`) closed the pipe — the verdict still stands
         sys.stderr.close()
-    return 1 if findings else 0
+    threshold = _SEVERITY_RANK[args.fail_on]
+    failing = [
+        f for f in findings if _SEVERITY_RANK.get(_severity_of(f.rule), 2) >= threshold
+    ]
+    return 1 if failing else 0
 
 
 if __name__ == "__main__":

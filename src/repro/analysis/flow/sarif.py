@@ -21,22 +21,27 @@ _TOOL_NAME = "repro-analysis"
 _TOOL_URI = "https://example.invalid/repro/analysis"  # repo-internal tool
 
 
-def _rule_meta() -> dict[str, tuple[str, str]]:
-    """id -> (summary, rationale) across all engines, plus the metas."""
+def _rule_meta() -> dict[str, tuple[str, str, str]]:
+    """id -> (summary, rationale, severity) across all engines."""
     from ..engine import SYNTAX_ERROR_RULE
+    from ..memory.engine import MEMORY_RULES
     from ..perf.engine import PERF_RULES
     from ..races.engine import RACE_RULES
     from ..rules import RULES
     from .engine import FLOW_RULES
 
-    meta: dict[str, tuple[str, str]] = {}
-    for registry in (RULES, FLOW_RULES, RACE_RULES, PERF_RULES):
+    meta: dict[str, tuple[str, str, str]] = {}
+    for registry in (RULES, FLOW_RULES, RACE_RULES, PERF_RULES, MEMORY_RULES):
         for rule_id in sorted(registry):
             rule = registry[rule_id]
-            meta[rule_id] = (rule.summary, rule.rationale)
+            meta[rule_id] = (
+                rule.summary,
+                rule.rationale,
+                getattr(rule, "severity", "error"),
+            )
     meta.setdefault(
         SYNTAX_ERROR_RULE,
-        ("file fails to parse", "nothing can be checked in unparsable code"),
+        ("file fails to parse", "nothing can be checked in unparsable code", "error"),
     )
     return meta
 
@@ -51,22 +56,23 @@ def to_sarif(findings: Iterable[Finding], *, tool_version: str = "0") -> dict:
     rule_index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
     rules = []
     for rule_id in rule_ids:
-        summary, rationale = meta.get(rule_id, (rule_id, ""))
+        summary, rationale, severity = meta.get(rule_id, (rule_id, "", "error"))
         rules.append(
             {
                 "id": rule_id,
                 "shortDescription": {"text": summary},
                 "fullDescription": {"text": rationale},
-                "defaultConfiguration": {"level": "error"},
+                "defaultConfiguration": {"level": severity},
             }
         )
     results = []
     for finding in findings:
+        severity = meta.get(finding.rule, ("", "", "error"))[2]
         results.append(
             {
                 "ruleId": finding.rule,
                 "ruleIndex": rule_index[finding.rule],
-                "level": "error",
+                "level": severity,
                 "message": {"text": finding.message},
                 "locations": [
                     {

@@ -1,0 +1,144 @@
+"""State-bound declarations: which collections the memory rules watch.
+
+A module *self-describes* its long-lived collections by declaring a
+module-level literal named ``__state_bounds__``, next to its
+``__trust_boundary__`` and ``__shared_state__``.  The memory analyser
+reads the declaration **statically** (``ast.literal_eval`` on the
+assignment) for M001–M005 and **at runtime** (plain attribute access on
+the imported module) for the high-water-mark monitor behind M006::
+
+    __state_bounds__ = {
+        "RemoteDnsGuard": {
+            "_pending": {
+                "bound": 4096,
+                "evicted_by": "sweep+cap",
+                "keyed_by": "attacker",
+            },
+        },
+    }
+
+Field semantics:
+
+``bound``
+    The maximum number of entries the collection may ever hold.  This is
+    the number the runtime monitor enforces: an observed size above it is
+    an M006 finding, turning the static claim into a dynamic witness.
+``evicted_by``
+    How entries leave, ``+``-combinable from :data:`EVICTION_MECHANISMS`:
+    ``cap`` (a size check at every insert site — M002 verifies the check
+    is statically present), ``lru`` (an ``OrderedDict`` recency eviction,
+    checked like ``cap``), ``sweep`` (a scheduled expiry sweep — M003
+    verifies an eviction-performing function is reachable from a schedule
+    site), ``lifecycle`` (protocol-driven removal: close/abort/response;
+    carries no static obligation on its own, which is why it should be
+    combined with ``cap`` when the key is attacker-controlled).
+``keyed_by``
+    Who controls the key space: ``attacker`` (spoofable source address,
+    qname, msg id, ISN — the §III threat model), ``internal`` (peer set
+    chosen by legitimate on-path components), or ``config`` (finite
+    domain fixed at construction).  Attacker-keyed collections are the
+    ones M001 insists must be declared at all.
+
+A module with attacker-facing ``taint_params`` but genuinely *no*
+long-lived collections declares the honest empty form
+``__state_bounds__ = {}`` so M001's scope stays explicit.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+
+DECL_NAME = "__state_bounds__"
+
+#: The eviction vocabulary a declaration may combine with ``+``.
+EVICTION_MECHANISMS = frozenset({"cap", "lru", "sweep", "lifecycle"})
+
+#: The key-provenance vocabulary.
+KEY_PROVENANCE = frozenset({"attacker", "internal", "config"})
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class StateBound:
+    """One declared collection: its owner, capacity and eviction story."""
+
+    class_name: str
+    attr: str
+    bound: int
+    evicted_by: frozenset[str]
+    keyed_by: str
+
+    def describe(self) -> str:
+        how = "+".join(sorted(self.evicted_by))
+        return (
+            f"{self.class_name}.{self.attr} "
+            f"(bound {self.bound}, evicted by {how}, {self.keyed_by}-keyed)"
+        )
+
+
+def find_declaration(tree: ast.AST) -> tuple[dict, int] | None:
+    """The module's ``__state_bounds__`` literal and its line, or None."""
+    for node in ast.walk(tree):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        else:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == DECL_NAME:
+                try:
+                    value = ast.literal_eval(node.value)
+                except ValueError:
+                    return None
+                if isinstance(value, dict):
+                    return value, getattr(node, "lineno", 1)
+                return None
+    return None
+
+
+def parse_declaration(raw: dict | None) -> dict[str, dict[str, StateBound]]:
+    """Normalise a raw ``__state_bounds__`` dict to per-class, per-attr
+    :class:`StateBound` records.  Malformed entries are dropped — the
+    static pass is what reports incomplete declarations, not the parser."""
+    if not isinstance(raw, dict):
+        return {}
+    decls: dict[str, dict[str, StateBound]] = {}
+    for class_name, attrs in raw.items():
+        if not isinstance(attrs, dict):
+            continue
+        per_class: dict[str, StateBound] = {}
+        for attr, spec in attrs.items():
+            if not isinstance(spec, dict):
+                continue
+            try:
+                bound = int(spec.get("bound", 0))
+            except (TypeError, ValueError):
+                continue
+            mechanisms = frozenset(
+                part.strip()
+                for part in str(spec.get("evicted_by", "")).split("+")
+                if part.strip()
+            )
+            per_class[str(attr)] = StateBound(
+                class_name=str(class_name),
+                attr=str(attr),
+                bound=bound,
+                evicted_by=mechanisms & EVICTION_MECHANISMS,
+                keyed_by=str(spec.get("keyed_by", "internal")),
+            )
+        decls[str(class_name)] = per_class
+    return decls
+
+
+def declarations_for_module(
+    tree: ast.AST,
+) -> tuple[dict[str, dict[str, StateBound]], int] | None:
+    """Static read: (class -> attr -> bound, declaration line) or None
+    when the module declares nothing (``{}`` counts as declaring)."""
+    found = find_declaration(tree)
+    if found is None:
+        return None
+    raw, lineno = found
+    return parse_declaration(raw), lineno

@@ -3,7 +3,7 @@
 The perf layer is the cost counterpart of the T/S (flow) and R (races)
 layers: it computes the hot-path call graph from schedule-site callbacks
 and ``Node.receive`` reachability, optionally weights it with the handler
-timings in ``BENCH_profile.json``, and reports per-event cost patterns —
+timings in ``scripts/BENCH_profile.json``, and reports per-event cost patterns —
 unslotted allocations, redundant wire encodings, closure churn, unguarded
 formatting, O(n) scans and constant-delay heap pushes — so the ROADMAP-1
 optimization arc has both a worklist and a regression gate.

@@ -9,7 +9,7 @@ sources:
   the same self-attribute / subclass-closure / name-index machinery the
   races layer uses), plus ``Node.receive``, the per-packet entry point
   every link delivery funnels through;
-* **profile roots** — handler keys from ``BENCH_profile.json`` (written by
+* **profile roots** — handler keys from ``scripts/BENCH_profile.json`` (written by
   :mod:`repro.obs.profiler`), mapped back to static functions by their
   module-qualified name.  The profile sees through indirection the static
   pass cannot (``cpu.submit(cost, fn, *args)`` where ``fn`` is a
@@ -20,7 +20,7 @@ Propagation through callees is a *may* analysis: an ambiguous bare name
 candidate hot, bounded by :data:`_MAX_CANDIDATES` so hub names like
 ``send`` or ``start`` do not drag the whole tree into the hot set.  The
 profile never gates hotness — repo runs and tests stay deterministic with
-or without a ``BENCH_profile.json`` on disk — it only enriches what the
+or without a ``scripts/BENCH_profile.json`` on disk — it only enriches what the
 static closure already found.
 """
 
@@ -56,7 +56,7 @@ _MAX_DEPTH = 12
 
 @dataclasses.dataclass(slots=True)
 class PerfProfile:
-    """Parsed ``BENCH_profile.json``: events/s plus per-handler timings."""
+    """Parsed ``scripts/BENCH_profile.json``: events/s plus per-handler timings."""
 
     events_per_second: float
     #: handler key (``module.Qualname``) -> (calls, seconds)

@@ -76,6 +76,9 @@ class LintRule:
     id: ClassVar[str]
     summary: ClassVar[str]
     rationale: ClassVar[str]
+    #: ``error`` | ``warning`` | ``note`` — drives the SARIF level and the
+    #: ``--fail-on`` exit-code contract.
+    severity: ClassVar[str] = "error"
 
     def check(self, tree: ast.AST, path: str) -> Iterator[Finding]:
         raise NotImplementedError
@@ -522,6 +525,9 @@ class NoSwallowedExceptions(LintRule):
 @register
 class UnusedSuppression(LintRule):
     id = "U001"
+    # hygiene, not a live hazard — still fails the repo gate (--fail-on
+    # warning) but is distinguishable for SARIF consumers
+    severity = "warning"
     summary = "suppression marker that suppresses nothing"
     rationale = (
         "an allow[...] marker whose rule never fires on its line — or that "

@@ -65,6 +65,21 @@ __shared_state__ = {
     },
 }
 
+#: State-bound declaration for the memory analyser
+#: (``repro.analysis.memory``).  Both collections are internally driven
+#: (the controller budgets its own actions); the budget window prunes
+#: ``_action_times`` on every budget check, and the audit log displaces
+#: oldest-first at its cap so a year-long deployment cannot grow it.
+__state_bounds__ = {
+    "GuardController": {
+        "_action_times": {"bound": 16, "evicted_by": "sweep", "keyed_by": "internal"},
+        "actions": {"bound": 4096, "evicted_by": "cap", "keyed_by": "internal"},
+    },
+}
+
+#: Hard cap on the retained action audit log.
+ACTION_LOG_CAP = 4096
+
 
 @dataclasses.dataclass(slots=True)
 class ControlConfig:
@@ -240,7 +255,13 @@ class GuardController:
 
     def _note_action(self, now: float, kind: str) -> None:
         self._action_times.append(now)
-        self.actions.append((now, kind, self.level))
+        self._log_action((now, kind, self.level))
+
+    def _log_action(self, entry: tuple[float, str, int]) -> None:
+        """Append to the audit log, displacing the oldest entry at the cap."""
+        self.actions.append(entry)
+        if len(self.actions) > ACTION_LOG_CAP:
+            del self.actions[0]
 
     # -- fail-safe ---------------------------------------------------------
 
@@ -252,7 +273,7 @@ class GuardController:
         self._hot_streak = 0
         self._cool_streak = 0
         self.reverts += 1
-        self.actions.append((self.sim.now, "revert:" + reason, 0))
+        self._log_action((self.sim.now, "revert:" + reason, 0))
 
     def _watchdog_trip(self, exc: Exception) -> None:
         """A sweep raised: revert to the safe static config and stop."""

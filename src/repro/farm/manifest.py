@@ -26,6 +26,26 @@ from typing import Any
 
 MANIFEST_VERSION = 1
 
+#: State-bound declaration for the memory analyser
+#: (``repro.analysis.memory``).  ``records``/``timings`` are keyed by
+#: cell id — a finite domain fixed by the plan — and are replaced
+#: per-plan; the run history is the one append-across-resumes log, so
+#: :meth:`Manifest.note_run` keeps only the newest
+#: :data:`MAX_RUN_HISTORY` entries (and :meth:`Manifest.load` truncates
+#: manifests written before the cap existed).  ``runs`` is excluded from
+#: the digest, so bounding it cannot perturb the sharded-equals-serial
+#: equivalence gate.
+__state_bounds__ = {
+    "Manifest": {
+        "records": {"bound": 65536, "evicted_by": "lifecycle", "keyed_by": "config"},
+        "timings": {"bound": 65536, "evicted_by": "lifecycle", "keyed_by": "config"},
+        "runs": {"bound": 32, "evicted_by": "cap", "keyed_by": "internal"},
+    },
+}
+
+#: How many resumed-run history entries the manifest retains.
+MAX_RUN_HISTORY = 32
+
 #: Terminal cell states.  ``done`` cells are skipped on resume; ``failed``
 #: and ``timeout`` cells are re-attempted.
 DONE = "done"
@@ -108,6 +128,18 @@ class Manifest:
         self.records[record.cell_id] = record
         if wall_seconds is not None:
             self.timings[record.cell_id] = wall_seconds
+
+    def note_run(self, entry: dict[str, Any]) -> None:
+        """Append to the run history, keeping only the newest entries.
+
+        The history is measurement metadata (shards, cells run/skipped,
+        wall time) feeding ``BENCH_farm.json``; it accumulates across
+        every ``--resume`` of the same manifest, so it is the one
+        collection here that would otherwise grow without bound.
+        """
+        self.runs.append(entry)
+        if len(self.runs) > MAX_RUN_HISTORY:
+            del self.runs[: len(self.runs) - MAX_RUN_HISTORY]
 
     def status_of(self, cell_id: str) -> str | None:
         record = self.records.get(cell_id)
@@ -192,7 +224,7 @@ class Manifest:
         for cid, rec in doc.get("cells", {}).items():
             manifest.records[cid] = CellRecord.from_dict(rec)
         manifest.timings = dict(doc.get("timings", {}))
-        manifest.runs = list(doc.get("runs", []))
+        manifest.runs = list(doc.get("runs", []))[-MAX_RUN_HISTORY:]
         return manifest
 
     def compatible_with(

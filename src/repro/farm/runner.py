@@ -350,7 +350,7 @@ def run_farm(
             )
     wall = time.monotonic() - t0  # repro: allow[D001] - BENCH wall-clock measurement
 
-    manifest.runs.append(
+    manifest.note_run(
         {
             "shards": shards,
             "cells_ran": len(pending),

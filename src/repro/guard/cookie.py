@@ -42,6 +42,12 @@ __trust_boundary__ = {
     ),
 }
 
+#: State-bound declaration for the memory analyser
+#: (``repro.analysis.memory``): honestly empty.  The cookie core is
+#: stateless by design — §IV.B's one-MD5-per-check works from two fixed
+#: keys and the query itself; there is no per-source table to exhaust.
+__state_bounds__ = {}
+
 #: Key length chosen so key+IPv4 fills one 80-byte MD5 input block.
 KEY_LENGTH = 76
 

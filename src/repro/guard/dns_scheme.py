@@ -45,6 +45,12 @@ __trust_boundary__ = {
     ),
 }
 
+#: State-bound declaration for the memory analyser
+#: (``repro.analysis.memory``): honestly empty.  The NS-name codec is a
+#: pure encode/decode layer — cookie material rides in the QNAME itself
+#: (§III.B), so the scheme needs no per-query table on the server side.
+__state_bounds__ = {}
+
 #: Default TTL for fabricated NS records — one week, the paper's example
 #: rotation interval, so cookies stay cached and most queries take 1 RTT.
 FABRICATED_NS_TTL = 7 * 24 * 3600

@@ -62,6 +62,25 @@ __shared_state__ = {
     },
 }
 
+#: State-bound declaration for the memory analyser
+#: (``repro.analysis.memory``).  Every key is a (server, client) pair
+#: taken from the on-path LRS's *own* outbound queries — internal
+#: provenance, not attacker-spoofable — and every table is drained by
+#: the boundary-lane ``_sweep`` (plus protocol-driven removal when a
+#: grant releases a held queue).
+__state_bounds__ = {
+    "LocalDnsGuard": {
+        "_cookies": {"bound": 4096, "evicted_by": "sweep", "keyed_by": "internal"},
+        "_held": {
+            "bound": 4096,
+            "evicted_by": "sweep+lifecycle",
+            "keyed_by": "internal",
+        },
+        "_uncookied": {"bound": 4096, "evicted_by": "sweep", "keyed_by": "internal"},
+        "_last_probe": {"bound": 4096, "evicted_by": "sweep", "keyed_by": "internal"},
+    },
+}
+
 #: How long a fetched cookie stays cached (the paper's one-week rotation).
 DEFAULT_COOKIE_TTL = 7 * 24 * 3600.0
 
@@ -273,6 +292,16 @@ class LocalDnsGuard:
         stale = [key for key, deadline in self._uncookied.items() if deadline <= now]
         for key in stale:
             del self._uncookied[key]
+        # probe timestamps only matter while queries are held for the key;
+        # once the queue is gone and the retry window has passed, a missing
+        # entry and a stale one behave identically, so drop the entry
+        stale_probes = [
+            key
+            for key, stamped in self._last_probe.items()
+            if key not in self._held and now - stamped >= PENDING_TIMEOUT
+        ]
+        for key in stale_probes:
+            del self._last_probe[key]
         self._sweeper = self.node.sim.schedule(
             1.0, self._sweep, priority=BOUNDARY_PRIORITY
         )

@@ -147,6 +147,43 @@ __shared_state__ = {
     },
 }
 
+#: State-bound declaration for the memory analyser
+#: (``repro.analysis.memory``).  The guard's soft state is the paper's
+#: §III design: every table an attacker can address is expiry-swept by
+#: the boundary-lane ``_sweep`` *and* hard-capped at its insert sites,
+#: so a spoofed flood can displace entries but never grow memory.
+__state_bounds__ = {
+    "RemoteDnsGuard": {
+        "_pending": {
+            "bound": 4096,
+            "evicted_by": "sweep+cap",
+            "keyed_by": "attacker",
+        },
+        "_answer_cache": {
+            "bound": 4096,
+            "evicted_by": "sweep+cap",
+            "keyed_by": "attacker",
+        },
+        "_verified_sources": {
+            "bound": 8192,
+            "evicted_by": "cap",
+            "keyed_by": "attacker",
+        },
+        "_decision_counters": {
+            "bound": 64,
+            "evicted_by": "lifecycle",
+            "keyed_by": "config",
+        },
+    },
+}
+
+#: Hard cap on in-flight exchange state (``_pending``).  The sweep
+#: expires entries every second; the cap bounds what a burst can insert
+#: *within* a sweep window.  Oldest-first displacement costs the victim
+#: one retry, which is the paper's trade: bounded memory, never an
+#: unbounded table.
+PENDING_CAP = 4096
+
 
 @dataclasses.dataclass(slots=True)
 class AdmissionControl:
@@ -341,10 +378,9 @@ class RemoteDnsGuard:
         """Remember a verify success for admission priority (bounded FIFO)."""
         if self.admission is None:
             return
-        table = self._verified_sources
-        table[source] = self.node.sim.now
-        if len(table) > 8192:
-            del table[next(iter(table))]
+        self._verified_sources[source] = self.node.sim.now
+        if len(self._verified_sources) > 8192:
+            del self._verified_sources[next(iter(self._verified_sources))]
 
     def _watched_reject(self, source: IPv4Address) -> None:
         if source in self.watch_sources:
@@ -670,6 +706,8 @@ class RemoteDnsGuard:
     ) -> None:
         """Message 3 -> 4: restore the original question toward the ANS."""
         key = (packet.src, datagram.sport, message.header.msg_id)
+        if len(self._pending) >= PENDING_CAP:
+            del self._pending[next(iter(self._pending))]
         self._pending[key] = _Pending(
             kind="cookie-name",
             cookie_qname=message.question.qname,
@@ -731,6 +769,8 @@ class RemoteDnsGuard:
             return
         # no cached answer: DNAT the query to the real ANS (messages 8/9)
         key = (packet.src, datagram.sport, message.header.msg_id)
+        if len(self._pending) >= PENDING_CAP:
+            del self._pending[next(iter(self._pending))]
         self._pending[key] = _Pending(
             kind="dnat",
             cookie_qname=None,

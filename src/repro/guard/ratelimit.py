@@ -39,6 +39,24 @@ __shared_state__ = {
     "RateEstimator": {"guarded": ["_count", "_window_start", "_last_rate"]},
 }
 
+#: State-bound declaration for the memory analyser
+#: (``repro.analysis.memory``).  Each table is keyed by claimed source
+#: address — spoofable by construction — so each carries its own
+#: eviction: the limiters keep LRU-ordered buckets (``popitem`` at the
+#: cap), the tracker is a space-saving heavy-hitter summary that
+#: displaces its minimum-count victim at capacity.
+__state_bounds__ = {
+    "TopRequesterTracker": {
+        "_counts": {"bound": 4096, "evicted_by": "cap", "keyed_by": "attacker"},
+    },
+    "UnverifiedResponseLimiter": {
+        "_buckets": {"bound": 8192, "evicted_by": "lru", "keyed_by": "attacker"},
+    },
+    "VerifiedRequestLimiter": {
+        "_buckets": {"bound": 8192, "evicted_by": "lru", "keyed_by": "attacker"},
+    },
+}
+
 
 class TokenBucket:
     """A standard token bucket: ``rate`` tokens/sec, ``burst`` capacity."""

@@ -54,6 +54,35 @@ __trust_boundary__ = {
     ),
 }
 
+#: State-bound declaration for the memory analyser
+#: (``repro.analysis.memory``).  The server side is stateless by design
+#: (RFC 7873 §6 recomputes the cookie per query); only the client shim
+#: caches learned server cookies and holds queries awaiting a grant, and
+#: a spoofed response can address both tables, so each is hard-capped —
+#: the shim schedules nothing, so a sweep is not an option here.
+__state_bounds__ = {
+    "EdnsCookieClientShim": {
+        "_server_cookies": {
+            "bound": 4096,
+            "evicted_by": "cap",
+            "keyed_by": "attacker",
+        },
+        "_held": {
+            "bound": 1024,
+            "evicted_by": "cap+lifecycle",
+            "keyed_by": "attacker",
+        },
+    },
+}
+
+#: Caps for the client shim's tables: learned server cookies, held-query
+#: keys, and held queries per key.  Oldest-first displacement; a
+#: displaced cookie costs one extra grant round trip, a displaced held
+#: query would have lapsed at its 2 s deadline anyway.
+SHIM_COOKIE_CAP = 4096
+SHIM_HELD_KEYS_CAP = 1024
+SHIM_HELD_PER_KEY_CAP = 16
+
 #: EDNS option code for COOKIE (RFC 7873).
 OPTION_COOKIE = 10
 
@@ -276,8 +305,14 @@ class EdnsCookieClientShim:
         if entry is not None and entry.expires_at > now:
             server_cookie = entry.server_cookie
         else:
-            # remember the original so a grant can release it
-            self._held.setdefault(key, []).append((packet, datagram, now + 2.0))
+            # remember the original so a grant can release it (capped:
+            # oldest key out when full, oldest query out within a key)
+            if key not in self._held and len(self._held) >= SHIM_HELD_KEYS_CAP:
+                del self._held[next(iter(self._held))]
+            queue = self._held.setdefault(key, [])
+            if len(queue) >= SHIM_HELD_PER_KEY_CAP:
+                queue.pop(0)
+            queue.append((packet, datagram, now + 2.0))
         stamped = copy.copy(message)
         stamped.additionals = list(message.additionals)
         attach_edns_cookie(stamped, client_cookie, server_cookie)
@@ -300,6 +335,8 @@ class EdnsCookieClientShim:
             return "forward"
         now = self.node.sim.now
         key = (packet.src, packet.dst)
+        if key not in self._server_cookies and len(self._server_cookies) >= SHIM_COOKIE_CAP:
+            del self._server_cookies[next(iter(self._server_cookies))]
         self._server_cookies[key] = _ServerCookieEntry(server_cookie, now + self.cookie_ttl)
         self.grants_learned += 1
         if message.answers:

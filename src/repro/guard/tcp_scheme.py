@@ -60,6 +60,22 @@ __shared_state__ = {
     },
 }
 
+#: State-bound declaration for the memory analyser
+#: (``repro.analysis.memory``).  Rate-limit buckets are keyed by the
+#: remote address of a *completed* handshake — address-proven, but still
+#: attacker-growable by completing handshakes from many real sources —
+#: so the table displaces oldest-first at its cap.  (Connection state
+#: itself lives in ``TcpStack.connections``, bounded there.)
+__state_bounds__ = {
+    "TcpProxy": {
+        "_client_buckets": {
+            "bound": 8192,
+            "evicted_by": "cap",
+            "keyed_by": "attacker",
+        },
+    },
+}
+
 #: Connections older than this multiple of their RTT are reaped.
 REAP_RTT_MULTIPLE = 5.0
 

@@ -72,6 +72,33 @@ __trust_boundary__ = {
     ),
 }
 
+#: State-bound declaration for the memory analyser
+#: (``repro.analysis.memory``).  A spoofed SYN flood addresses both
+#: tables directly (the 4-tuple key is attacker-chosen), so the
+#: connection table admits through a capped ``_admit`` — full table ==
+#: SYN-queue overflow, the exact state SYN cookies exist to avoid — and
+#: TIME_WAIT displaces its oldest entry once the purge can free nothing.
+__state_bounds__ = {
+    "TcpStack": {
+        "connections": {
+            "bound": 65536,
+            "evicted_by": "lifecycle+cap",
+            "keyed_by": "attacker",
+        },
+        "_time_wait": {"bound": 8192, "evicted_by": "cap", "keyed_by": "attacker"},
+        "_listeners": {"bound": 64, "evicted_by": "lifecycle", "keyed_by": "config"},
+    },
+}
+
+#: Hard cap on concurrent connections per stack.  Reaching it refuses
+#: new admissions (active opens raise, passive SYNs are silently
+#: ignored) rather than growing without bound — the non-cookie listener
+#: otherwise hands a SYN flood one TcpConnection per spoofed source.
+MAX_CONNECTIONS = 65536
+
+#: Hard cap on remembered TIME_WAIT 4-tuples.
+TIME_WAIT_CAP = 8192
+
 
 class TcpState(enum.Enum):
     CLOSED = "closed"
@@ -458,6 +485,7 @@ class TcpStack:
         self.cookie_failures = 0
         self.retry_exhaustions = 0
         self.stale_segments = 0
+        self.connections_refused = 0
         self._time_wait: dict[ConnKey, float] = {}
 
     # -- public API ---------------------------------------------------------------
@@ -496,7 +524,8 @@ class TcpStack:
         conn.on_close = on_close
         if max_retransmits is not None:
             conn.max_retransmits = max_retransmits
-        self.connections[conn.key] = conn
+        if not self._admit(conn):
+            raise SocketError(f"{self.node.name}: connection table full")
         conn._start_active()
         return conn
 
@@ -561,14 +590,15 @@ class TcpStack:
                 self._transmit(packet.dst, packet.src, reply)
             else:
                 conn = TcpConnection(self, packet.dst, segment.dport, packet.src, segment.sport)
-                self.connections[conn.key] = conn
-                conn._start_passive(segment)
+                if self._admit(conn):
+                    conn._start_passive(segment)
             return
         if segment.has(TcpFlags.ACK) and listener.syn_cookies:
             isn = self._syn_cookie(packet.dst, segment.dport, packet.src, segment.sport)
             if segment.ack == (isn + 1) & 0xFFFFFFFF:
                 conn = TcpConnection(self, packet.dst, segment.dport, packet.src, segment.sport)
-                self.connections[conn.key] = conn
+                if not self._admit(conn):
+                    return
                 conn._start_from_cookie(segment, isn)
                 listener.on_connection(conn)
                 if segment.data or segment.has(TcpFlags.FIN):
@@ -624,14 +654,30 @@ class TcpStack:
         digest = hashlib.md5(material).digest()
         return struct.unpack("!I", digest[:4])[0]
 
+    def _admit(self, conn: TcpConnection) -> bool:
+        """Add ``conn`` to the table, refusing once it is full.
+
+        Refusal is the SYN-queue-overflow behaviour: the segment that
+        would have created state is treated as never having arrived.
+        """
+        if len(self.connections) >= MAX_CONNECTIONS:
+            self.connections_refused += 1
+            return False
+        self.connections[conn.key] = conn
+        return True
+
     def _forget(self, conn: TcpConnection, *, linger: bool = False) -> None:
         self.connections.pop(conn.key, None)
         if linger:
-            if len(self._time_wait) >= 8192:  # lazily purge expired entries
+            if len(self._time_wait) >= TIME_WAIT_CAP:
+                # lazily purge expired entries; if nothing has expired,
+                # displace oldest-first so the cap actually holds
                 now = self.node.sim.now
                 self._time_wait = {
                     key: until for key, until in self._time_wait.items() if until > now
                 }
+                while len(self._time_wait) >= TIME_WAIT_CAP:
+                    del self._time_wait[next(iter(self._time_wait))]
             self._time_wait[conn.key] = self.node.sim.now + TIME_WAIT_LINGER
 
     @property

@@ -148,3 +148,33 @@ class TestCompatibleWith:
         m = _manifest()
         base = {"matrix": "m", "base_seed": 0, "fast": False, "plan_digest": "abc123"}
         assert not m.compatible_with(**{**base, **kwargs})
+
+
+class TestRunHistory:
+    def test_note_run_keeps_only_the_newest_entries(self):
+        from repro.farm.manifest import MAX_RUN_HISTORY
+
+        m = _manifest()
+        for i in range(MAX_RUN_HISTORY + 10):
+            m.note_run({"i": i})
+        assert len(m.runs) == MAX_RUN_HISTORY
+        assert m.runs[0]["i"] == 10
+        assert m.runs[-1]["i"] == MAX_RUN_HISTORY + 9
+
+    def test_load_truncates_oversized_history(self, tmp_path):
+        from repro.farm.manifest import MAX_RUN_HISTORY
+
+        path = tmp_path / "manifest.json"
+        m = _manifest(path=str(path))
+        m.save()
+        doc = json.loads(path.read_text())
+        doc["runs"] = [{"i": i} for i in range(MAX_RUN_HISTORY * 3)]
+        path.write_text(json.dumps(doc))
+        loaded = Manifest.load(str(path))
+        assert len(loaded.runs) == MAX_RUN_HISTORY
+        assert loaded.runs[-1]["i"] == MAX_RUN_HISTORY * 3 - 1
+
+    def test_history_is_not_digested(self):
+        a, b = _manifest(), _manifest()
+        b.note_run({"shards": 4})
+        assert a.digest() == b.digest()
