@@ -5,12 +5,13 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== static analysis (lint + taint dataflow + FSM conformance + races + perf + memory) =="
-python -m repro.analysis --flow --races --perf --memory \
+echo "== static analysis (lint + taint dataflow + FSM conformance + races + perf + memory + layering) =="
+python -m repro.analysis --flow --races --perf --memory --layers \
     --baseline scripts/flow_baseline.json \
     --baseline scripts/perf_baseline.json \
     --baseline scripts/memory_baseline.json \
     --fail-on warning \
+    --bench "$(mktemp -u).json" \
     --sarif "${SARIF_OUT:-/dev/null}" src
 
 echo "== README rule table drift check =="

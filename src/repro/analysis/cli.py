@@ -5,8 +5,13 @@ FSM-conformance analyses plus suppression hygiene; with ``--races``, the
 static simultaneity rules R001/R002; with ``--perf``, the profile-guided
 hot-path cost rules P001–P006 weighted by ``--perf-profile``, default
 ``scripts/BENCH_profile.json``; with ``--memory``, the state-exhaustion
-rules M001–M005 over ``__state_bounds__`` declarations) over the given
-paths (default: ``src``).  The exit code follows the ``--fail-on``
+rules M001–M005 over ``__state_bounds__`` declarations; with
+``--layers``, the transport-purity layering rules L001–L006 over
+``__layer__`` declarations and the import-layering manifest, including
+the L006 import-isolation witness) over the given paths (default:
+``src``).  Each file is parsed exactly once: the CLI loads a shared
+module set and every rule family analyses the same ASTs; ``--bench``
+appends the analyzer wall-clock to a dated trajectory file.  The exit code follows the ``--fail-on``
 severity contract — by default any finding exits nonzero — so it slots
 directly into CI and pre-commit.
 ``--baseline`` (repeatable) accepts known-findings files; ``--sarif``
@@ -20,6 +25,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
 from .engine import SYNTAX_ERROR_RULE, SuppressionTracker, lint_paths
@@ -33,6 +39,7 @@ RULES_MD_END = "<!-- rules:end -->"
 
 def _rule_table() -> str:
     from .flow.engine import flow_rule_table
+    from .layers.engine import layer_rule_table
     from .memory.engine import memory_rule_table
     from .perf.engine import perf_rule_table
     from .races.engine import race_rule_table
@@ -52,12 +59,15 @@ def _rule_table() -> str:
         + perf_rule_table()
         + "\n\n"
         + memory_rule_table()
+        + "\n\n"
+        + layer_rule_table()
     )
 
 
 def _rule_rows() -> list[tuple[str, str, str, str]]:
     """(id, family, summary, rationale) for every registered rule."""
     from .flow.engine import FLOW_RULES
+    from .layers.engine import LAYER_RULES
     from .memory.engine import MEMORY_RULES
     from .perf.engine import PERF_RULES
     from .races.engine import RACE_RULES
@@ -75,7 +85,7 @@ def _rule_rows() -> list[tuple[str, str, str, str]]:
             "nothing can be checked in unparsable code",
         )
     )
-    for registry in (FLOW_RULES, RACE_RULES, PERF_RULES, MEMORY_RULES):
+    for registry in (FLOW_RULES, RACE_RULES, PERF_RULES, MEMORY_RULES, LAYER_RULES):
         for rule_id in sorted(registry):
             rule = registry[rule_id]
             rows.append((rule_id, rule.family, rule.summary, rule.rationale))
@@ -107,9 +117,13 @@ def _replace_rules_block(text: str, block: str) -> str | None:
 
 def _split_rule_ids(
     raw: str,
-) -> tuple[list[str], list[str], list[str], list[str], list[str], list[str]]:
-    """Partition ``--rules`` into (lint, flow, race, perf, memory, unknown)."""
+) -> tuple[
+    list[str], list[str], list[str], list[str], list[str], list[str], list[str]
+]:
+    """Partition ``--rules`` into (lint, flow, race, perf, memory, layer,
+    unknown)."""
     from .flow.engine import FLOW_RULES
+    from .layers.engine import LAYER_RULES
     from .memory.engine import MEMORY_RULES
     from .perf.engine import PERF_RULES
     from .races.engine import RACE_RULES
@@ -119,6 +133,7 @@ def _split_rule_ids(
     race_ids: list[str] = []
     perf_ids: list[str] = []
     memory_ids: list[str] = []
+    layer_ids: list[str] = []
     unknown: list[str] = []
     for part in raw.split(","):
         rule_id = part.strip()
@@ -134,9 +149,11 @@ def _split_rule_ids(
             perf_ids.append(rule_id)
         elif rule_id in MEMORY_RULES:
             memory_ids.append(rule_id)
+        elif rule_id in LAYER_RULES:
+            layer_ids.append(rule_id)
         else:
             unknown.append(rule_id)
-    return lint_ids, flow_ids, race_ids, perf_ids, memory_ids, unknown
+    return lint_ids, flow_ids, race_ids, perf_ids, memory_ids, layer_ids, unknown
 
 
 #: Severity ordering for the ``--fail-on`` exit-code contract.
@@ -146,13 +163,14 @@ _SEVERITY_RANK = {"note": 0, "warning": 1, "error": 2}
 def _severity_of(rule_id: str) -> str:
     """The registered severity for ``rule_id`` (unknown ids rank as error)."""
     from .flow.engine import FLOW_RULES
+    from .layers.engine import LAYER_RULES
     from .memory.engine import MEMORY_RULES
     from .perf.engine import PERF_RULES
     from .races.engine import RACE_RULES
 
     if rule_id in RULES:
         return getattr(RULES[rule_id], "severity", "error")
-    for registry in (FLOW_RULES, RACE_RULES, PERF_RULES, MEMORY_RULES):
+    for registry in (FLOW_RULES, RACE_RULES, PERF_RULES, MEMORY_RULES, LAYER_RULES):
         rule = registry.get(rule_id)
         if rule is not None:
             return getattr(rule, "severity", "error")
@@ -216,6 +234,24 @@ def main(argv: list[str] | None = None) -> int:
         help=(
             "also run the state-exhaustion rules (M001-M005) over "
             "__state_bounds__ declarations, taint surfaces and the hot set"
+        ),
+    )
+    parser.add_argument(
+        "--layers",
+        action="store_true",
+        help=(
+            "also run the transport-purity layering rules (L001-L006) "
+            "over __layer__ declarations and the import-layering "
+            "manifest, including the L006 import-isolation witness"
+        ),
+    )
+    parser.add_argument(
+        "--bench",
+        metavar="FILE",
+        default=None,
+        help=(
+            "append the analyzer wall-clock to FILE as a dated "
+            "trajectory (scripts/BENCH_analysis.json in CI)"
         ),
     )
     parser.add_argument(
@@ -311,76 +347,139 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         return 0
 
-    lint_ids = flow_ids = race_ids = perf_ids = memory_ids = None
+    lint_ids = flow_ids = race_ids = perf_ids = memory_ids = layer_ids = None
     run_flow = args.flow
     run_races = args.races
     run_perf = args.perf
     run_memory = args.memory
+    run_layers = args.layers
     if args.rules:
-        lint_ids, flow_ids, race_ids, perf_ids, memory_ids, unknown = _split_rule_ids(
-            args.rules
-        )
+        (
+            lint_ids,
+            flow_ids,
+            race_ids,
+            perf_ids,
+            memory_ids,
+            layer_ids,
+            unknown,
+        ) = _split_rule_ids(args.rules)
         if unknown:
             print(
                 f"error: unknown rule ids: {', '.join(sorted(unknown))}",
                 file=sys.stderr,
             )
             return 2
-        # asking for a flow/race/perf/memory rule implies running that engine
+        # asking for a family's rule implies running that engine
         run_flow = run_flow or bool(flow_ids)
         run_races = run_races or bool(race_ids)
         run_perf = run_perf or bool(perf_ids)
         run_memory = run_memory or bool(memory_ids)
+        run_layers = run_layers or bool(layer_ids)
 
+    timings: list[tuple[str, float]] = []
+    # analyzer wall-clock (host time) — measures the CLI itself, never a
+    # simulation; calls go through the alias so each phase reads alike
+    clock = time.perf_counter
     try:
-        if run_flow or run_races or run_perf or run_memory:
+        if run_flow or run_races or run_perf or run_memory or run_layers:
+            from .flow.core import load_modules
             from .flow.engine import FLOW_RULES, analyze_paths
+            from .layers.engine import LAYER_RULES, analyze_layers
             from .memory.engine import MEMORY_RULES, analyze_memory
             from .perf.engine import PERF_RULES, analyze_perf
             from .races.engine import RACE_RULES, analyze_races
 
             tracker = SuppressionTracker()
-            findings = lint_paths(args.paths, rule_ids=lint_ids, tracker=tracker)
+            # one parse shared by the lint and every rule family
+            t0 = clock()
+            modules = load_modules(args.paths)
+            parsed = {module.path: module for module in modules}
+            timings.append(("parse", clock() - t0))
+            t0 = clock()
+            findings = lint_paths(
+                args.paths, rule_ids=lint_ids, tracker=tracker, parsed=parsed
+            )
+            timings.append(("lint", clock() - t0))
             if run_flow and (flow_ids is None or flow_ids):
+                t0 = clock()
                 findings.extend(
-                    analyze_paths(args.paths, rule_ids=flow_ids, tracker=tracker)
+                    analyze_paths(
+                        args.paths,
+                        rule_ids=flow_ids,
+                        tracker=tracker,
+                        modules=modules,
+                    )
                 )
+                timings.append(("flow", clock() - t0))
             if run_races and (race_ids is None or race_ids):
+                t0 = clock()
                 findings.extend(
-                    analyze_races(args.paths, rule_ids=race_ids, tracker=tracker)
+                    analyze_races(
+                        args.paths,
+                        rule_ids=race_ids,
+                        tracker=tracker,
+                        modules=modules,
+                    )
                 )
+                timings.append(("races", clock() - t0))
             if run_perf and (perf_ids is None or perf_ids):
+                t0 = clock()
                 findings.extend(
                     analyze_perf(
                         args.paths,
                         rule_ids=perf_ids,
                         tracker=tracker,
                         profile=args.perf_profile,
+                        modules=modules,
                     )
                 )
+                timings.append(("perf", clock() - t0))
             if run_memory and (memory_ids is None or memory_ids):
+                t0 = clock()
                 findings.extend(
                     analyze_memory(
                         args.paths,
                         rule_ids=memory_ids,
                         tracker=tracker,
                         profile=args.perf_profile,
+                        modules=modules,
                     )
                 )
+                timings.append(("memory", clock() - t0))
+            if run_layers and (layer_ids is None or layer_ids):
+                t0 = clock()
+                findings.extend(
+                    analyze_layers(
+                        args.paths,
+                        rule_ids=layer_ids,
+                        tracker=tracker,
+                        modules=modules,
+                        runtime=True,
+                    )
+                )
+                timings.append(("layers", clock() - t0))
             known = (
                 set(RULES)
                 | set(FLOW_RULES)
                 | set(RACE_RULES)
                 | set(PERF_RULES)
                 | set(MEMORY_RULES)
+                | set(LAYER_RULES)
                 | {SYNTAX_ERROR_RULE}
             )
             findings.extend(tracker.unused_findings(known))
         else:
+            t0 = clock()
             findings = lint_paths(args.paths, rule_ids=lint_ids)
+            timings.append(("lint", clock() - t0))
     except (FileNotFoundError, KeyError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+    if args.bench:
+        from .bench import write_bench_analysis
+
+        write_bench_analysis(args.bench, timings)
 
     for baseline_path in args.baseline or ():
         from .flow.baseline import apply_baseline, load_baseline

@@ -1,0 +1,76 @@
+"""Shared loader for the module-level self-describing declarations.
+
+Four analysis families read literal declarations off the module AST —
+``__trust_boundary__`` (flow), ``__shared_state__`` (races),
+``__state_bounds__`` (memory) and ``__layer__`` (layers).  All of them
+share the same contract, implemented once here:
+
+* the declaration is a **module-level literal assignment** (plain or
+  annotated) to the well-known name;
+* it is read **statically** with ``ast.literal_eval`` — the module is
+  never imported, so declarations in broken or platform-bound modules
+  still analyse;
+* a non-literal or wrongly-typed value reads as *absent*: the parser
+  never guesses, and each family's own rules are what report missing or
+  malformed declarations with their uniform message from
+  :func:`invalid_declaration_message`.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ModuleLiteral:
+    """One module-level literal declaration, with its source line."""
+
+    name: str
+    value: object
+    lineno: int
+
+
+def find_module_literal(tree: ast.AST, name: str) -> ModuleLiteral | None:
+    """The first module-level ``name = <literal>`` assignment, or None.
+
+    Non-literal right-hand sides (anything ``ast.literal_eval`` rejects)
+    read as absent: declarations must be data, never computed.
+    """
+    for node in ast.walk(tree):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        else:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == name:
+                try:
+                    value = ast.literal_eval(node.value)
+                except ValueError:
+                    return None
+                return ModuleLiteral(name, value, getattr(node, "lineno", 1))
+    return None
+
+
+def find_declaration_dict(tree: ast.AST, name: str) -> tuple[dict, int] | None:
+    """``(dict value, line)`` of a dict-valued declaration, or None.
+
+    The common case for ``__trust_boundary__`` / ``__shared_state__`` /
+    ``__state_bounds__``: a present-but-non-dict value reads as absent.
+    """
+    found = find_module_literal(tree, name)
+    if found is None or not isinstance(found.value, dict):
+        return None
+    return found.value, found.lineno
+
+
+def invalid_declaration_message(name: str, detail: str) -> str:
+    """The uniform malformed-declaration message every family shares."""
+    return (
+        f"{name} declaration is invalid: {detail} — declarations are "
+        "module-level literals read statically; fix the literal so the "
+        "analysis can trust it"
+    )

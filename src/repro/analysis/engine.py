@@ -150,14 +150,20 @@ def lint_source(
     *,
     rule_ids: Iterable[str] | None = None,
     tracker: SuppressionTracker | None = None,
+    tree: ast.Module | None = None,
 ) -> list[Finding]:
-    """Lint one source string; returns findings sorted by location."""
+    """Lint one source string; returns findings sorted by location.
+
+    ``tree`` supplies an already-parsed AST for ``source`` so callers
+    holding a shared parse (the analysis CLI) skip the re-parse.
+    """
     selected = _select_rules(rule_ids)
     if tracker is not None:
         tracker.register_source(path, source)
         tracker.note_rules(rule.id for rule in selected)
     try:
-        tree = ast.parse(source, filename=path)
+        if tree is None:
+            tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
         return [
             Finding(
@@ -215,9 +221,30 @@ def lint_paths(
     *,
     rule_ids: Iterable[str] | None = None,
     tracker: SuppressionTracker | None = None,
+    parsed: "dict[str, object] | None" = None,
 ) -> list[Finding]:
-    """Lint every Python file under ``paths``; findings sorted by location."""
+    """Lint every Python file under ``paths``; findings sorted by location.
+
+    ``parsed`` maps path strings to already-parsed modules (any object
+    with ``source`` and ``tree`` attributes, e.g.
+    :class:`~repro.analysis.flow.core.ModuleInfo`) so each file is
+    parsed once across every rule family.  Files absent from the map —
+    notably E999 files ``load_modules`` skips — are read and parsed
+    here as before.
+    """
     findings: list[Finding] = []
     for file_path in iter_python_files(paths):
-        findings.extend(lint_file(file_path, rule_ids=rule_ids, tracker=tracker))
+        entry = parsed.get(str(file_path)) if parsed else None
+        if entry is not None:
+            findings.extend(
+                lint_source(
+                    entry.source,  # type: ignore[attr-defined]
+                    str(file_path),
+                    rule_ids=rule_ids,
+                    tracker=tracker,
+                    tree=entry.tree,  # type: ignore[attr-defined]
+                )
+            )
+        else:
+            findings.extend(lint_file(file_path, rule_ids=rule_ids, tracker=tracker))
     return sorted(findings, key=Finding.sort_key)

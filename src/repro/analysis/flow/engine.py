@@ -189,8 +189,12 @@ def analyze_paths(
     *,
     rule_ids: Iterable[str] | None = None,
     tracker: "SuppressionTracker | None" = None,
+    modules: list[ModuleInfo] | None = None,
 ) -> list[Finding]:
     """Run the selected flow rules over every Python file under ``paths``.
+
+    ``modules`` reuses an already-parsed module set — the CLI parses each
+    file exactly once and shares the ASTs across every rule family.
 
     Inline ``# repro: allow[...]`` markers filter findings exactly as they
     do for the lint; with a ``tracker``, marker usage is recorded so the
@@ -199,7 +203,8 @@ def analyze_paths(
     from ..engine import suppressed_rules
 
     selected = _select(rule_ids)
-    modules = load_modules(paths)
+    if modules is None:
+        modules = load_modules(paths)
     index = NameIndex(modules)
     findings: list[Finding] = []
 

@@ -53,6 +53,8 @@ from __future__ import annotations
 import ast
 import dataclasses
 
+from ..declarations import find_declaration_dict
+
 #: Attribute names on any value that is already attacker-tainted do not
 #: matter (taint is closed under attribute access); these are the *root*
 #: secret attributes for T002 — key material wherever it lives.
@@ -132,22 +134,8 @@ _LIST_FIELDS = {
 
 def find_declaration(tree: ast.AST) -> dict | None:
     """The module's ``__trust_boundary__`` literal, or None."""
-    for node in ast.walk(tree):
-        targets: list[ast.expr] = []
-        if isinstance(node, ast.Assign):
-            targets = node.targets
-        elif isinstance(node, ast.AnnAssign) and node.value is not None:
-            targets = [node.target]
-        else:
-            continue
-        for target in targets:
-            if isinstance(target, ast.Name) and target.id == _DECL_NAME:
-                try:
-                    value = ast.literal_eval(node.value)
-                except ValueError:
-                    return None
-                return value if isinstance(value, dict) else None
-    return None
+    found = find_declaration_dict(tree, _DECL_NAME)
+    return found[0] if found is not None else None
 
 
 def trust_for_module(tree: ast.AST) -> TrustModel:

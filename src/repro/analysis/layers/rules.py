@@ -1,0 +1,481 @@
+"""The static L-rule checks (L001–L005).
+
+All five work from the parsed module set plus the layer manifest; no
+module is ever imported.  The dynamic sibling — L006, re-importing the
+declared pure core with the platform layers blocked — lives in
+:mod:`.runtime`.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Iterator
+
+from ..findings import Finding
+from ..flow.core import ModuleInfo
+from ..perf.hotpath import module_dotted
+from .manifest import (
+    DECL_NAME,
+    FORBIDDEN_STDLIB,
+    LAYERS,
+    declared_layer,
+    layer_of,
+)
+
+#: Method/attribute names whose *call* means transport or scheduling —
+#: the simulator seam a pure-core function must never reach, even
+#: duck-typed through an argument (which L001's import check cannot
+#: see).
+TRANSPORT_APIS: frozenset[str] = frozenset(
+    {
+        "schedule",
+        "schedule_at",
+        "submit",
+        "send",
+        "sendto",
+        "send_udp",
+        "recv",
+        "connect",
+        "deliver",
+        "enqueue_packet",
+    }
+)
+
+#: Dotted call roots that read the wall clock or OS entropy — the
+#: purity escapes the injected Clock/Rng seams exist to replace.
+_IMPURE_ROOTS: frozenset[str] = frozenset(
+    {"time", "datetime", "random", "secrets", "os"}
+)
+
+#: Builtins that block on the outside world.
+_IO_BUILTINS: frozenset[str] = frozenset({"open", "input", "print"})
+
+#: Verification primitives that belong behind the core seam: an adapter
+#: computing hashes is making an admission/verification decision the
+#: core should own (L004).
+_DECISION_PRIMITIVES: frozenset[str] = frozenset({"hashlib", "hmac"})
+
+
+@dataclasses.dataclass(slots=True)
+class LayeredModule:
+    """One module with its resolved and declared layers."""
+
+    info: ModuleInfo
+    name: str  # dotted module name
+    package: str  # dotted package relative imports resolve against
+    layer: str | None  # manifest layer (longest prefix), None = unlayered
+    declared: tuple[object, int] | None  # (__layer__ value, lineno)
+
+
+def classify_modules(
+    modules: list[ModuleInfo], manifest: dict[str, str]
+) -> list[LayeredModule]:
+    out: list[LayeredModule] = []
+    for info in modules:
+        name = module_dotted(info.path)
+        if info.path.endswith("__init__.py"):
+            package = name
+        else:
+            package = name.rpartition(".")[0]
+        out.append(
+            LayeredModule(
+                info=info,
+                name=name,
+                package=package,
+                layer=layer_of(name, manifest),
+                declared=declared_layer(info.tree),
+            )
+        )
+    return out
+
+
+def _type_checking_lines(tree: ast.Module) -> set[int]:
+    """Line numbers inside ``if TYPE_CHECKING:`` blocks (typing-only
+    imports never execute, so they cannot violate the layering)."""
+    lines: set[int] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.If):
+            continue
+        test = node.test
+        name = None
+        if isinstance(test, ast.Name):
+            name = test.id
+        elif isinstance(test, ast.Attribute):
+            name = test.attr
+        if name == "TYPE_CHECKING":
+            for stmt in node.body:
+                lines.update(range(stmt.lineno, (stmt.end_lineno or stmt.lineno) + 1))
+    return lines
+
+
+def _resolve_from(module: LayeredModule, node: ast.ImportFrom) -> str | None:
+    """Absolute dotted target of a ``from ... import`` statement."""
+    if node.level == 0:
+        return node.module
+    parts = module.package.split(".") if module.package else []
+    climb = node.level - 1
+    if climb > len(parts):
+        return None
+    base = parts[: len(parts) - climb] if climb else parts
+    if node.module:
+        base = base + node.module.split(".")
+    return ".".join(base) if base else None
+
+
+def _imported_names(
+    module: LayeredModule, skip_lines: set[int]
+) -> Iterator[tuple[str, int]]:
+    """Every absolute module name this module imports, with its line.
+
+    For ``from pkg import sub`` both ``pkg`` and ``pkg.sub`` are
+    yielded: the bound name may be a submodule, and flagging the worst
+    resolution is the conservative reading.
+    """
+    for node in ast.walk(module.info.tree):
+        if isinstance(node, ast.Import):
+            if node.lineno in skip_lines:
+                continue
+            for alias in node.names:
+                yield alias.name, node.lineno
+        elif isinstance(node, ast.ImportFrom):
+            if node.lineno in skip_lines:
+                continue
+            base = _resolve_from(module, node)
+            if base is None:
+                continue
+            yield base, node.lineno
+            for alias in node.names:
+                if alias.name != "*":
+                    yield f"{base}.{alias.name}", node.lineno
+
+
+def check_l001(
+    modules: list[LayeredModule], manifest: dict[str, str]
+) -> list[Finding]:
+    """L001: a pure-core module imports a forbidden layer."""
+    findings: list[Finding] = []
+    internal_roots = {prefix.split(".")[0] for prefix in manifest}
+    for module in modules:
+        if module.layer != "pure-core":
+            continue
+        skip = _type_checking_lines(module.info.tree)
+        seen: set[tuple[str, int]] = set()
+        for target, lineno in _imported_names(module, skip):
+            target_layer = layer_of(target, manifest)
+            root = target.split(".")[0]
+            if target_layer == "pure-core":
+                continue
+            if target_layer in ("adapter", "platform"):
+                reason = f"the {target_layer} layer"
+            elif root in FORBIDDEN_STDLIB:
+                reason = "platform stdlib"
+            elif root in internal_roots:
+                # an internal module no manifest prefix covers: its
+                # purity is unproven, which is as bad as impure
+                reason = "an unlayered internal module"
+            else:
+                continue
+            key = (target, lineno)
+            if key in seen:
+                continue
+            seen.add(key)
+            findings.append(
+                Finding(
+                    path=module.info.path,
+                    line=lineno,
+                    col=0,
+                    rule="L001",
+                    message=(
+                        f"pure-core module {module.name} imports {target} "
+                        f"({reason}) — the core may only import down; "
+                        "inject the capability through repro.guard.core.ports"
+                    ),
+                )
+            )
+    return findings
+
+
+def _call_root(node: ast.Call) -> str | None:
+    """The leftmost dotted name of a call target, or None."""
+    func = node.func
+    while isinstance(func, ast.Attribute):
+        func = func.value
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _transport_touches(fn: ast.AST) -> list[tuple[str, int]]:
+    """Direct transport/scheduling API calls inside one function body."""
+    touches: list[tuple[str, int]] = []
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Call):
+            continue
+        if isinstance(node.func, ast.Attribute) and node.func.attr in TRANSPORT_APIS:
+            touches.append((node.func.attr, node.lineno))
+        elif isinstance(node.func, ast.Name) and node.func.id in TRANSPORT_APIS:
+            touches.append((node.func.id, node.lineno))
+    return touches
+
+
+def _callees(fn: ast.AST) -> set[str]:
+    """Bare and ``self.``-qualified callee names inside one function."""
+    names: set[str] = set()
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name):
+            names.add(func.id)
+        elif (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+        ):
+            names.add(func.attr)
+    return names
+
+
+#: Transport-reach propagation passes (call chains are shallow).
+_REACH_PASSES = 3
+
+
+def check_l002(modules: list[LayeredModule]) -> list[Finding]:
+    """L002: a pure-core function reaches a transport/scheduling API
+    through the (intra-module) call graph."""
+    findings: list[Finding] = []
+    for module in modules:
+        if module.layer != "pure-core":
+            continue
+        info = module.info
+        direct: dict[str, list[tuple[str, int]]] = {}
+        for qualname, decl in info.functions.items():
+            touches = _transport_touches(decl.node)
+            if touches:
+                direct[qualname] = touches
+        # propagate: a function calling a toucher is itself a toucher
+        reach: dict[str, tuple[str, str, int]] = {
+            q: (q, api, line) for q, ts in direct.items() for api, line in ts[:1]
+        }
+        for _ in range(_REACH_PASSES):
+            changed = False
+            for qualname, decl in info.functions.items():
+                if qualname in reach:
+                    continue
+                for callee in _callees(decl.node):
+                    target = info.function_named(callee)
+                    if target is not None and target.qualname in reach:
+                        via, api, _line = reach[target.qualname]
+                        reach[qualname] = (via, api, decl.node.lineno)
+                        changed = True
+                        break
+            if not changed:
+                break
+        for qualname, (via, api, line) in sorted(reach.items()):
+            through = "" if via == qualname else f" through {via}"
+            findings.append(
+                Finding(
+                    path=info.path,
+                    line=line,
+                    col=0,
+                    rule="L002",
+                    message=(
+                        f"pure-core function {qualname} reaches "
+                        f"transport/scheduling API {api}(){through} — "
+                        "decisions return values; the adapter moves packets"
+                    ),
+                )
+            )
+    return findings
+
+
+def check_l003(modules: list[LayeredModule]) -> list[Finding]:
+    """L003: purity escapes — wall clock, OS entropy, blocking I/O or
+    global mutable module state outside the injected seams."""
+    findings: list[Finding] = []
+    for module in modules:
+        if module.layer != "pure-core":
+            continue
+        tree = module.info.tree
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                root = _call_root(node)
+                if root in _IMPURE_ROOTS and isinstance(node.func, ast.Attribute):
+                    findings.append(
+                        Finding(
+                            path=module.info.path,
+                            line=node.lineno,
+                            col=node.col_offset,
+                            rule="L003",
+                            message=(
+                                f"pure-core call {root}.{node.func.attr}() "
+                                "is a purity escape — take the value "
+                                "through the Clock/Rng ports instead"
+                            ),
+                        )
+                    )
+                elif isinstance(node.func, ast.Name) and node.func.id in _IO_BUILTINS:
+                    findings.append(
+                        Finding(
+                            path=module.info.path,
+                            line=node.lineno,
+                            col=node.col_offset,
+                            rule="L003",
+                            message=(
+                                f"pure-core call {node.func.id}() performs "
+                                "blocking I/O — emit through the Emit port "
+                                "and let the adapter do I/O"
+                            ),
+                        )
+                    )
+        for stmt in tree.body:
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            if value is None or not _is_mutable_literal(value):
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name) and not (
+                    target.id.startswith("__") and target.id.endswith("__")
+                ):
+                    findings.append(
+                        Finding(
+                            path=module.info.path,
+                            line=stmt.lineno,
+                            col=stmt.col_offset,
+                            rule="L003",
+                            message=(
+                                f"pure-core module-level {target.id} is "
+                                "global mutable state — pure decisions hold "
+                                "their state in instances the adapter owns"
+                            ),
+                        )
+                    )
+    return findings
+
+
+def _is_mutable_literal(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Dict, ast.List, ast.Set, ast.DictComp, ast.ListComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in {"dict", "list", "set", "defaultdict", "deque", "OrderedDict"}
+    return False
+
+
+def check_l004(modules: list[LayeredModule]) -> list[Finding]:
+    """L004: admission/verification decision logic in an adapter —
+    statically proxied by hash-primitive use outside the core seam."""
+    findings: list[Finding] = []
+    for module in modules:
+        if module.layer != "adapter":
+            continue
+        skip = _type_checking_lines(module.info.tree)
+        for target, lineno in _imported_names(module, skip):
+            if target.split(".")[0] in _DECISION_PRIMITIVES:
+                findings.append(
+                    Finding(
+                        path=module.info.path,
+                        line=lineno,
+                        col=0,
+                        rule="L004",
+                        message=(
+                            f"adapter module {module.name} imports {target} "
+                            "— cookie/verification computations belong in "
+                            "repro.guard.core behind the seam, not in the "
+                            "simulator adapter"
+                        ),
+                    )
+                )
+        for node in ast.walk(module.info.tree):
+            if isinstance(node, ast.Call):
+                root = _call_root(node)
+                if root in _DECISION_PRIMITIVES:
+                    findings.append(
+                        Finding(
+                            path=module.info.path,
+                            line=node.lineno,
+                            col=node.col_offset,
+                            rule="L004",
+                            message=(
+                                f"adapter module {module.name} computes "
+                                f"{root} digests inline — move the "
+                                "decision into repro.guard.core and call "
+                                "through the seam"
+                            ),
+                        )
+                    )
+    return findings
+
+
+def check_l005(
+    modules: list[LayeredModule], manifest: dict[str, str]
+) -> list[Finding]:
+    """L005: layer-manifest drift — undeclared module or stale
+    declaration."""
+    findings: list[Finding] = []
+    for module in modules:
+        decl = module.declared
+        if decl is not None:
+            value, lineno = decl
+            if not isinstance(value, str) or value not in LAYERS:
+                findings.append(
+                    Finding(
+                        path=module.info.path,
+                        line=lineno,
+                        col=0,
+                        rule="L005",
+                        message=(
+                            f"{DECL_NAME} declaration {value!r} is not one "
+                            f"of {', '.join(LAYERS)}"
+                        ),
+                    )
+                )
+                continue
+            if module.layer is None:
+                findings.append(
+                    Finding(
+                        path=module.info.path,
+                        line=lineno,
+                        col=0,
+                        rule="L005",
+                        message=(
+                            f"module {module.name} declares {DECL_NAME} = "
+                            f"{value!r} but no manifest prefix covers it — "
+                            "add the package to the layer manifest"
+                        ),
+                    )
+                )
+            elif value != module.layer:
+                findings.append(
+                    Finding(
+                        path=module.info.path,
+                        line=lineno,
+                        col=0,
+                        rule="L005",
+                        message=(
+                            f"stale declaration: module {module.name} "
+                            f"declares {value!r} but the manifest places it "
+                            f"in {module.layer!r}"
+                        ),
+                    )
+                )
+        elif module.name in manifest and module.info.path.endswith("__init__.py"):
+            findings.append(
+                Finding(
+                    path=module.info.path,
+                    line=1,
+                    col=0,
+                    rule="L005",
+                    message=(
+                        f"package {module.name} is a manifest root but its "
+                        f"__init__ carries no {DECL_NAME} declaration — "
+                        "packages self-describe so readers see the layer "
+                        "where the code lives"
+                    ),
+                )
+            )
+    return findings

@@ -1,0 +1,208 @@
+"""L006: the runtime import-isolation witness for the pure core.
+
+The static L-rules prove no pure-core *source file* names a platform
+module.  This monitor proves the stronger dynamic claim: a fresh
+interpreter can import the declared pure-core packages while a
+meta-path finder refuses every platform import — the simulator, the
+observability stack, asyncio, sockets, threads, clocks and OS entropy.
+A transitive dependency hiding behind a re-export, a lazy import inside
+a function that runs at import time, or a parent package's ``__init__``
+would all surface here as an ``ImportError``.
+
+Mechanics (all inside a subprocess so the analysis process's own
+modules are irrelevant):
+
+1. the allowed stdlib is imported *first*, so its transitive
+   dependencies are cached and the blocker cannot break the
+   interpreter itself;
+2. every blocked module already in ``sys.modules`` (``time`` and
+   friends are preloaded) is evicted, so the cache cannot satisfy a
+   blocked import;
+3. a :class:`~importlib.abc.MetaPathFinder` raising ``ImportError`` on
+   any blocked prefix is installed at the front of ``sys.meta_path``;
+4. for each pure package, stub parent packages (plain ``ModuleType``
+   with a real ``__path__``) are registered so ``repro/__init__``  —
+   which imports the whole simulator — never executes;
+5. ``importlib.import_module`` must then succeed for every pure-core
+   manifest prefix.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from ..findings import Finding
+from .manifest import DEFAULT_MANIFEST, pure_prefixes
+
+#: Import prefixes the verifier refuses.  ``os`` is absent because the
+#: interpreter's own machinery needs it; the static L001/L003 cover it.
+BLOCKED_PREFIXES: tuple[str, ...] = (
+    "repro.netsim",
+    "repro.obs",
+    "asyncio",
+    "socket",
+    "socketserver",
+    "selectors",
+    "ssl",
+    "threading",
+    "multiprocessing",
+    "subprocess",
+    "concurrent",
+    "signal",
+    "time",
+    "random",
+    "secrets",
+)
+
+#: Stdlib a pure module may use, pre-imported before the blocker goes up.
+_ALLOWED_PRELOAD: tuple[str, ...] = (
+    "dataclasses",
+    "struct",
+    "hashlib",
+    "ipaddress",
+    "enum",
+    "typing",
+    "collections",
+    "copy",
+    "json",
+)
+
+_VERIFIER_SCRIPT = r"""
+import importlib, json, sys
+from pathlib import Path
+from types import ModuleType
+
+config = json.loads(sys.argv[1])
+src_root = Path(config["src_root"])
+blocked = tuple(config["blocked"])
+targets = config["targets"]
+
+for name in config["preload"]:
+    importlib.import_module(name)
+
+
+def is_blocked(name):
+    return any(name == b or name.startswith(b + ".") for b in blocked)
+
+
+for name in list(sys.modules):
+    if is_blocked(name):
+        del sys.modules[name]
+
+
+class _Blocker:
+    def find_spec(self, fullname, path=None, target=None):
+        if is_blocked(fullname):
+            raise ImportError(
+                f"import of {fullname} blocked by the layering verifier "
+                "(L006): the pure core must not depend on the platform"
+            )
+        return None
+
+
+sys.meta_path.insert(0, _Blocker())
+sys.path.insert(0, str(src_root))
+
+result = {"ok": True, "imported": [], "failures": []}
+for dotted in targets:
+    parts = dotted.split(".")
+    for depth in range(1, len(parts)):
+        parent = ".".join(parts[:depth])
+        if parent in sys.modules:
+            continue
+        stub = ModuleType(parent)
+        stub.__path__ = [str(src_root.joinpath(*parts[:depth]))]
+        sys.modules[parent] = stub
+    try:
+        importlib.import_module(dotted)
+    except BaseException as exc:  # report, never crash the verdict
+        result["ok"] = False
+        result["failures"].append({"target": dotted, "error": f"{type(exc).__name__}: {exc}"})
+    else:
+        result["imported"].append(dotted)
+print(json.dumps(result))
+"""
+
+
+@dataclasses.dataclass(slots=True)
+class LayerReport:
+    """Outcome of one import-isolation run."""
+
+    ok: bool
+    summary: str
+    findings: list[Finding]
+
+
+def verify_import_isolation(
+    *,
+    manifest: dict[str, str] | None = None,
+    targets: list[str] | None = None,
+    blocked: tuple[str, ...] = BLOCKED_PREFIXES,
+    python: str = sys.executable,
+) -> LayerReport:
+    """Import every pure-core package in a blocked subprocess.
+
+    ``targets`` overrides the manifest's pure prefixes (tests use an
+    adapter module here to prove the blocker actually refuses);
+    ``blocked`` substitutes the refused prefix list.
+    """
+    layer_manifest = DEFAULT_MANIFEST if manifest is None else manifest
+    if targets is None:
+        targets = pure_prefixes(layer_manifest)
+    if not targets:
+        return LayerReport(True, "no pure-core packages declared", [])
+    import repro
+
+    src_root = Path(repro.__file__).resolve().parent.parent
+    config = json.dumps(
+        {
+            "src_root": str(src_root),
+            "blocked": list(blocked),
+            "targets": targets,
+            "preload": list(_ALLOWED_PRELOAD),
+        }
+    )
+    proc = subprocess.run(
+        [python, "-c", _VERIFIER_SCRIPT, config],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    findings: list[Finding] = []
+    try:
+        result = json.loads(proc.stdout.strip().splitlines()[-1])
+    except (IndexError, json.JSONDecodeError):
+        message = (
+            "import-isolation verifier crashed: "
+            f"{proc.stderr.strip() or proc.stdout.strip() or 'no output'}"
+        )
+        findings.append(Finding(path="<verifier>", line=1, col=0, rule="L006", message=message))
+        return LayerReport(False, message, findings)
+    for failure in result["failures"]:
+        dotted = failure["target"]
+        rel = Path(*dotted.split("."), "__init__.py")
+        findings.append(
+            Finding(
+                path=str(Path("src") / rel),
+                line=1,
+                col=0,
+                rule="L006",
+                message=(
+                    f"pure-core package {dotted} failed to import with the "
+                    f"platform layers blocked: {failure['error']}"
+                ),
+            )
+        )
+    if result["ok"]:
+        summary = (
+            "import isolation OK: "
+            + ", ".join(result["imported"])
+            + f" imported with {len(blocked)} platform prefixes blocked"
+        )
+    else:
+        summary = f"{len(result['failures'])} pure-core package(s) leaked a platform dependency"
+    return LayerReport(result["ok"], summary, findings)

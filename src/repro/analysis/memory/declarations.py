@@ -49,6 +49,8 @@ from __future__ import annotations
 import ast
 import dataclasses
 
+from ..declarations import find_declaration_dict
+
 DECL_NAME = "__state_bounds__"
 
 #: The eviction vocabulary a declaration may combine with ``+``.
@@ -78,24 +80,7 @@ class StateBound:
 
 def find_declaration(tree: ast.AST) -> tuple[dict, int] | None:
     """The module's ``__state_bounds__`` literal and its line, or None."""
-    for node in ast.walk(tree):
-        targets: list[ast.expr] = []
-        if isinstance(node, ast.Assign):
-            targets = node.targets
-        elif isinstance(node, ast.AnnAssign) and node.value is not None:
-            targets = [node.target]
-        else:
-            continue
-        for target in targets:
-            if isinstance(target, ast.Name) and target.id == DECL_NAME:
-                try:
-                    value = ast.literal_eval(node.value)
-                except ValueError:
-                    return None
-                if isinstance(value, dict):
-                    return value, getattr(node, "lineno", 1)
-                return None
-    return None
+    return find_declaration_dict(tree, DECL_NAME)
 
 
 def parse_declaration(raw: dict | None) -> dict[str, dict[str, StateBound]]:

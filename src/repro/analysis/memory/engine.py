@@ -19,7 +19,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Iterable
 
 from ..findings import Finding
-from ..flow.core import load_modules
+from ..flow.core import ModuleInfo, load_modules
 from ..perf.hotpath import PerfProfile, compute_hot_paths, load_profile
 from .rules import MEMORY_CHECKS, build_view
 
@@ -114,8 +114,12 @@ def analyze_memory(
     rule_ids: Iterable[str] | None = None,
     tracker: "SuppressionTracker | None" = None,
     profile: str | Path | PerfProfile | None = None,
+    modules: list[ModuleInfo] | None = None,
 ) -> list[Finding]:
     """Run the selected memory rules over every Python file under ``paths``.
+
+    ``modules`` reuses an already-parsed module set (one parse per file
+    across all rule families).
 
     ``profile`` is the same ``BENCH_profile.json`` the perf engine takes —
     profiled handler roots widen the hot set M001/M003 consult; the static
@@ -124,7 +128,8 @@ def analyze_memory(
     from ..engine import suppressed_rules
 
     selected = _select(rule_ids)
-    modules = load_modules(paths)
+    if modules is None:
+        modules = load_modules(paths)
     parsed_profile: PerfProfile | None
     if isinstance(profile, PerfProfile) or profile is None:
         parsed_profile = profile

@@ -19,7 +19,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Iterable
 
 from ..findings import Finding
-from ..flow.core import load_modules
+from ..flow.core import ModuleInfo, load_modules
 from .hotpath import PerfProfile, compute_hot_paths, load_profile
 from .rules import PERF_CHECKS, PerfContext
 
@@ -111,8 +111,12 @@ def analyze_perf(
     rule_ids: Iterable[str] | None = None,
     tracker: "SuppressionTracker | None" = None,
     profile: str | Path | PerfProfile | None = None,
+    modules: list[ModuleInfo] | None = None,
 ) -> list[Finding]:
     """Run the selected perf rules over every Python file under ``paths``.
+
+    ``modules`` reuses an already-parsed module set (one parse per file
+    across all rule families).
 
     ``profile`` is a ``BENCH_profile.json`` path (missing files are treated
     as "no profile"), or an already-parsed :class:`PerfProfile`.  The
@@ -122,7 +126,8 @@ def analyze_perf(
     from ..engine import suppressed_rules
 
     selected = _select(rule_ids)
-    modules = load_modules(paths)
+    if modules is None:
+        modules = load_modules(paths)
     parsed_profile: PerfProfile | None
     if isinstance(profile, PerfProfile) or profile is None:
         parsed_profile = profile

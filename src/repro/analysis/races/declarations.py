@@ -37,6 +37,8 @@ from __future__ import annotations
 import ast
 import dataclasses
 
+from ..declarations import find_declaration_dict
+
 DECL_NAME = "__shared_state__"
 
 
@@ -55,22 +57,8 @@ class SharedStateDecl:
 
 def find_declaration(tree: ast.AST) -> dict | None:
     """The module's ``__shared_state__`` literal, or None."""
-    for node in ast.walk(tree):
-        targets: list[ast.expr] = []
-        if isinstance(node, ast.Assign):
-            targets = node.targets
-        elif isinstance(node, ast.AnnAssign) and node.value is not None:
-            targets = [node.target]
-        else:
-            continue
-        for target in targets:
-            if isinstance(target, ast.Name) and target.id == DECL_NAME:
-                try:
-                    value = ast.literal_eval(node.value)
-                except ValueError:
-                    return None
-                return value if isinstance(value, dict) else None
-    return None
+    found = find_declaration_dict(tree, DECL_NAME)
+    return found[0] if found is not None else None
 
 
 def parse_declaration(raw: dict | None) -> dict[str, SharedStateDecl]:

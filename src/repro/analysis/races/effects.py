@@ -80,7 +80,8 @@ REQUIRED_DECLARATIONS: tuple[str, ...] = (
     str(Path("guard") / "pipeline.py"),
     str(Path("guard") / "local_guard.py"),
     str(Path("guard") / "tcp_scheme.py"),
-    str(Path("guard") / "ratelimit.py"),
+    str(Path("guard") / "core" / "ratelimit.py"),
+    str(Path("guard") / "core" / "admission.py"),
     str(Path("faults") / "plan.py"),
     str(Path("control") / "controller.py"),
     str(Path("control") / "actuators.py"),

@@ -21,7 +21,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Iterable
 
 from ..findings import Finding
-from ..flow.core import NameIndex, load_modules
+from ..flow.core import ModuleInfo, NameIndex, load_modules
 from .effects import check_declarations, check_write_overlaps, collect_schedule_sites
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -95,12 +95,18 @@ def analyze_races(
     *,
     rule_ids: Iterable[str] | None = None,
     tracker: "SuppressionTracker | None" = None,
+    modules: list[ModuleInfo] | None = None,
 ) -> list[Finding]:
-    """Run the static race rules over every Python file under ``paths``."""
+    """Run the static race rules over every Python file under ``paths``.
+
+    ``modules`` reuses an already-parsed module set (one parse per file
+    across all rule families).
+    """
     from ..engine import suppressed_rules
 
     selected = _select(rule_ids) & _STATIC_RULES
-    modules = load_modules(paths)
+    if modules is None:
+        modules = load_modules(paths)
     findings: list[Finding] = []
 
     if "R001" in selected:

@@ -20,6 +20,8 @@ from .actuators import (
 from .controller import ControlConfig, GuardController
 from .signals import SignalReader, SignalSnapshot
 
+__layer__ = "adapter"
+
 __all__ = [
     "Actuator",
     "AdmissionActuator",

@@ -24,6 +24,8 @@ from .cookie_ext import (
     strip_cookie,
 )
 
+__layer__ = "pure-core"
+
 __all__ = [
     "A",
     "AAAA",

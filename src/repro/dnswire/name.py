@@ -22,7 +22,7 @@ _POINTER_MASK = 0xC0
 #: makes the repeat parse a dict hit.  The cap bounds memory against
 #: adversarial inputs (e.g. a label sprayer feeding fresh names forever).
 _INTERN_LIMIT = 4096
-_interned: dict[str, "Name"] = {}
+_interned: dict[str, "Name"] = {}  # repro: allow[L003] - bounded content-addressed memo, replay-invisible
 
 
 class Name:

@@ -17,7 +17,7 @@ from .errors import DecodeError, EncodeError
 from .name import Name
 from .types import RRType
 
-_RDATA_REGISTRY: dict[int, type["Rdata"]] = {}
+_RDATA_REGISTRY: dict[int, type["Rdata"]] = {}  # repro: allow[L003] - filled once at import by @register, read-only after
 
 
 def register(rtype: int):

@@ -3,8 +3,16 @@
 The package implements the paper's three schemes behind one inline
 middlebox (:class:`RemoteDnsGuard`) plus the LRS-side
 :class:`LocalDnsGuard` that makes unmodified resolvers cookie-capable.
+
+The decision logic — cookie generate/verify, the NS-label codec, the
+RFC 7873 computations, rate-limit accounting, admission policy and the
+LRS hold/stamp/probe state machine — lives in the transport-free
+:mod:`repro.guard.core` subpackage; the modules here are the simulator
+adapters around it.  The layering analysis
+(``python -m repro.analysis --layers``) enforces the split.
 """
 
+from . import core
 from .cookie import (
     CookieFactory,
     KEY_LENGTH,
@@ -41,8 +49,11 @@ from .ratelimit import (
 )
 from .tcp_scheme import TcpProxy
 
+__layer__ = "adapter"
+
 __all__ = [
     "AdmissionControl",
+    "core",
     "CookieFactory",
     "CookieName",
     "DEFAULT_COOKIE_TTL",

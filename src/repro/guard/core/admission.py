@@ -1,0 +1,110 @@
+"""Admission policy and scheme escalation — the pure decision seam.
+
+The Figure-4 pipeline's *decisions about whether work is admitted* live
+here, away from the packets and the scheduler:
+
+* :data:`Policy` — the per-source challenge vocabulary, with the §III.B
+  escalation built in: the DNS-based scheme falls back to the TCP-based
+  one when the original name cannot fit in a cookie label
+  (:func:`fallback_policy`);
+* :class:`AdmissionControl` + :func:`should_shed` — §IV.C priority-aware
+  ingress shedding, closed by ``repro.control``;
+* :func:`reap_deadline` — the TCP proxy's connection-lifetime bound
+  (§III.C: reap at ``reap_rtt_multiple`` × RTT).
+
+Everything is a function of its arguments: the adapters read clocks and
+queues and pass the numbers in.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Literal
+
+__layer__ = "pure-core"
+
+#: Shared-state declaration for the race analyser
+#: (``repro.analysis.races``): the control plane hot-tunes the admission
+#: knobs from its boundary-lane sweep, so they are scheduler-visible
+#: state wherever an adapter installs them.
+__shared_state__ = {
+    "AdmissionControl": {
+        "guarded": ["engaged", "shed_backlog_fraction", "verified_ttl"],
+    },
+}
+
+#: State-bound declaration for the memory analyser
+#: (``repro.analysis.memory``): honestly empty — the decision seam holds
+#: no tables; the verified-source table lives with its pipeline adapter.
+__state_bounds__ = {}
+
+#: Per-source challenge policy: which scheme an unverified requester is
+#: escalated into (or whether it is passed/dropped outright).
+Policy = Literal["dns", "tcp", "forward", "drop"]
+
+#: Connections older than this multiple of their RTT are reaped (§III.C).
+REAP_RTT_MULTIPLE = 5.0
+
+#: Floor for the reaping deadline.  SYN-cookie connections materialise at
+#: the final ACK, so their measured handshake RTT is ~0 and the multiple
+#: alone would reap them instantly; the floor also leaves room for CPU
+#: queueing delays when thousands of connections are in flight (Fig 7a).
+MIN_REAP_SECONDS = 1.0
+
+
+@dataclasses.dataclass(slots=True)
+class AdmissionControl:
+    """Priority-aware ingress admission (§IV.C, closed by ``repro.control``).
+
+    While ``engaged`` and the node CPU backlog exceeds
+    ``shed_backlog_fraction`` of the queue limit, queries from sources
+    without a *fresh verification* (a cookie/label/COOKIE2 success within
+    ``verified_ttl`` seconds) are shed at bare per-packet cost before any
+    DNS parsing.  Verified requesters keep flowing — the opposite of the
+    FIFO queue dropping blindly when it saturates.
+    """
+
+    engaged: bool = False
+    shed_backlog_fraction: float = 0.5
+    verified_ttl: float = 5.0
+
+
+def should_shed(
+    control: AdmissionControl,
+    *,
+    backlog: float,
+    queue_limit: float,
+    last_verified: float | None,
+    now: float,
+) -> bool:
+    """Whether an ingress packet from this source is shed right now.
+
+    Pure over its inputs: the adapter reads the CPU backlog and the
+    source's last-verification stamp and passes them in.  Shedding
+    requires all three of: shedding engaged, backlog past the configured
+    fraction of the queue limit, and no fresh verification.
+    """
+    if not control.engaged:
+        return False
+    if backlog < control.shed_backlog_fraction * queue_limit:
+        return False
+    return last_verified is None or last_verified + control.verified_ttl <= now
+
+
+def fallback_policy(action: Policy) -> Policy:
+    """The §III.B escalation: DNS-based challenges degrade to TCP.
+
+    The DNS-based scheme embeds the original QNAME in the cookie label;
+    when it does not fit, the guard escalates the requester into the
+    TCP-based scheme instead.  Other policies stand as chosen.
+    """
+    return "tcp" if action == "dns" else action
+
+
+def reap_deadline(
+    rtt: float | None,
+    multiple: float = REAP_RTT_MULTIPLE,
+    floor: float = MIN_REAP_SECONDS,
+) -> float:
+    """Seconds a TCP-scheme connection may live before the reaper fires."""
+    return max(multiple * (rtt or 0.0), floor)

@@ -1,0 +1,76 @@
+"""The LRS-side guard's hold/stamp/probe decision logic (§III.D) — pure.
+
+The local guard's adapter moves packets; what it *does* with an outbound
+query is decided here from plain values:
+
+* ``forward`` — the destination server has recently answered a probe
+  without a grant, so no remote guard is filtering there;
+* ``stamp`` — a fresh cached cookie exists: modify in place, zero extra
+  round trips;
+* ``hold-probe`` — hold the query and (re-)send a cookie probe: the
+  queue was empty, the last probe has aged past the retry interval, or
+  the guard runs in per-query (no-cache) mode;
+* ``hold`` — hold behind an already-outstanding probe.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__layer__ = "pure-core"
+
+#: How long a fetched cookie stays cached (the paper's one-week rotation).
+DEFAULT_COOKIE_TTL = 7 * 24 * 3600.0
+
+#: How long held queries wait for a cookie grant before being dropped.
+PENDING_TIMEOUT = 2.0
+
+#: How long the guard remembers that a server answered a cookie probe with a
+#: plain response (i.e. no remote guard is filtering) before probing again.
+UNCOOKIED_TTL = 5.0
+
+#: Minimum spacing between cookie probes for the same (server, client) pair
+#: while queries are held — a lost grant must not deadlock the queue.
+PROBE_RETRY_INTERVAL = 0.1
+
+
+@dataclasses.dataclass(slots=True)
+class CachedCookie:
+    """One learned cookie and when it stops being trustworthy."""
+
+    cookie: bytes
+    expires_at: float
+
+
+def cookie_usable(entry: CachedCookie | None, now: float) -> bool:
+    """Whether a cached cookie may still be stamped onto queries."""
+    return entry is not None and entry.expires_at > now
+
+
+def probe_due(last_probe: float, now: float) -> bool:
+    """Whether the retry interval since the last probe has elapsed."""
+    return now - last_probe >= PROBE_RETRY_INTERVAL
+
+
+def outbound_action(
+    *,
+    uncookied_until: float,
+    cached: CachedCookie | None,
+    now: float,
+    cache_cookies: bool,
+    held_count: int,
+    last_probe: float,
+) -> str:
+    """The decision for one outbound uncookied query.
+
+    ``held_count`` counts the query being decided (i.e. the queue length
+    *after* it would be held); ``last_probe`` is ``-inf``-like (any value
+    older than the retry interval) when no probe was ever sent.
+    """
+    if uncookied_until > now:
+        return "forward"
+    if cache_cookies and cookie_usable(cached, now):
+        return "stamp"
+    if held_count == 1 or probe_due(last_probe, now) or not cache_cookies:
+        return "hold-probe"
+    return "hold"

@@ -1,0 +1,54 @@
+"""The ports the pure guard core is allowed to see the world through.
+
+The core never imports the simulator, the observability layer, sockets
+or asyncio — L001/L006 enforce that.  Anything environmental reaches it
+through one of three narrow injected seams:
+
+* :class:`Clock` — a monotonically non-decreasing ``now()``.  Adapters
+  pass ``Simulator.now`` (virtual time) or a socket front end's
+  monotonic clock; the core itself mostly takes ``now`` as an explicit
+  argument, which is the same seam with even less surface.
+* :class:`Rng` — seeded randomness for key material.  Adapters pass the
+  simulator's seeded ``random.Random`` (replayable traces) or, in a
+  production deployment, an OS-entropy adapter.
+* :class:`Emit` — a fire-and-forget observation callback for decision
+  telemetry.  :data:`NULL_EMIT` is the default: the core stays silent
+  and side-effect-free unless an adapter wires the seam.
+
+These are structural protocols, not base classes: any object with the
+right methods satisfies them, so the simulator adapters need no core
+import beyond this module.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+__layer__ = "pure-core"
+
+
+class Clock(Protocol):
+    """Injected time source: seconds as a float, origin unspecified."""
+
+    def now(self) -> float: ...
+
+
+class Rng(Protocol):
+    """Injected randomness: the ``random.Random`` surface the core uses."""
+
+    def getrandbits(self, k: int) -> int: ...
+
+
+class Emit(Protocol):
+    """Injected observation sink for decision telemetry."""
+
+    def __call__(self, event: str, detail: str) -> None: ...
+
+
+def _null_emit(event: str, detail: str) -> None:
+    """The default observation sink: drop everything."""
+    return None
+
+
+#: Default :class:`Emit` port — observation is opt-in, never load-bearing.
+NULL_EMIT: Emit = _null_emit

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 import dataclasses
 
+__layer__ = "adapter"
+
 
 @dataclasses.dataclass(frozen=True, slots=True)
 class GuardCosts:

@@ -1,167 +1,32 @@
-"""Message fabrication for the DNS-based scheme (paper §III.B, Figure 2).
+"""Compatibility shim: the NS-label cookie codec lives in the pure core.
 
-The guard embeds a cookie in a fabricated NS name that is a *single label
-directly under the protected zone's origin*.  That placement is the whole
-trick: a standard resolver that wants the fabricated nameserver's address
-has no choice but to ask the very servers authoritative for the origin —
-i.e. the guard itself — and that follow-up query (message 3) carries the
-cookie in its QNAME where the guard can verify it.
-
-The label packs the 10-byte cookie (``PR`` + 8 hex chars) followed by the
-original question's labels relative to the origin, dot-joined, so the guard
-can restore the original query (message 4) statelessly.
+Message fabrication for the DNS-based scheme (§III.B) is a pure
+function of the query and the zone origin, so the whole module moved to
+:mod:`repro.guard.core.dns_scheme` in the guard-core extraction.  This
+shim keeps the historical import path; new code should import from
+:mod:`repro.guard.core`.
 """
 
 from __future__ import annotations
 
-import dataclasses
-
-from ..dnswire import (
-    Message,
-    Name,
-    ResourceRecord,
-    RRClass,
-    RRType,
-    NS,
-    A,
-    make_response,
+from .core.dns_scheme import (
+    FABRICATED_NS_TTL,
+    CookieName,
+    cookie_name_answer,
+    decode_cookie_name,
+    delegation_owner,
+    encode_cookie_name,
+    fabricated_referral,
 )
-from ..dnswire.types import MAX_LABEL_LENGTH
-from .cookie import LABEL_COOKIE_LENGTH, LABEL_PREFIX
 
-#: Trust boundary for the flow analyser (``repro.analysis.flow``).  These
-#: are pure codec helpers: :func:`decode_cookie_name` output is derived
-#: entirely from the attacker-controlled QNAME and stays tainted in the
-#: caller — verification happens in the pipeline via ``verify_label``,
-#: never here.  No entry points, no sinks.
-__trust_boundary__ = {
-    "scheme": "ns_name",
-    "entry_points": [],
-    "taint_params": [],
-    "assumes": (
-        "decode output is untrusted parse structure; the pipeline must "
-        "pass decoded.cookie_label through cookies.verify_label before "
-        "acting on it (enforced there by T001)"
-    ),
-}
+__layer__ = "adapter"
 
-#: State-bound declaration for the memory analyser
-#: (``repro.analysis.memory``): honestly empty.  The NS-name codec is a
-#: pure encode/decode layer — cookie material rides in the QNAME itself
-#: (§III.B), so the scheme needs no per-query table on the server side.
-__state_bounds__ = {}
-
-#: Default TTL for fabricated NS records — one week, the paper's example
-#: rotation interval, so cookies stay cached and most queries take 1 RTT.
-FABRICATED_NS_TTL = 7 * 24 * 3600
-
-
-@dataclasses.dataclass(frozen=True, slots=True)
-class CookieName:
-    """A decoded cookie-bearing QNAME."""
-
-    cookie_label: bytes  # the 10-byte PR+hex prefix
-    original_qname: Name  # the restored original question name
-
-
-def encode_cookie_name(cookie_label: bytes, original_qname: Name, origin: Name) -> Name | None:
-    """The fabricated NS target for ``original_qname``, or None if too long.
-
-    Returns a name of exactly one label under ``origin``; the label is the
-    cookie followed by the original name's origin-relative labels joined
-    with literal dots (labels are binary-safe on the wire).
-    """
-    relative = original_qname.relativize(origin)
-    label = cookie_label + b".".join(relative)
-    if len(label) > MAX_LABEL_LENGTH:
-        return None
-    return Name((label, *origin.labels))
-
-
-def decode_cookie_name(
-    qname: Name, origin: Name, *, cookie_length: int = LABEL_COOKIE_LENGTH
-) -> CookieName | None:
-    """Parse a QNAME as a cookie name under ``origin``; None if it is not one.
-
-    ``cookie_length`` is the deploying guard's configured label-cookie width
-    (marker prefix plus hex digits).
-    """
-    if len(qname) != len(origin) + 1:
-        return None
-    if not qname.is_subdomain_of(origin):
-        return None
-    label = qname.labels[0]
-    # the marker check is case-insensitive so DNS-0x20 resolvers (which
-    # randomise the letter casing of every query) interoperate
-    if label[:2].upper() != LABEL_PREFIX or len(label) < cookie_length:
-        return None
-    cookie_label = label[:cookie_length]
-    suffix = label[cookie_length:]
-    if suffix:
-        parts = suffix.split(b".")
-        if any(not part for part in parts):
-            return None
-        try:
-            original = Name((*parts, *origin.labels))
-        except Exception:
-            return None
-    else:
-        original = origin
-    return CookieName(cookie_label, original)
-
-
-def delegation_owner(qname: Name, origin: Name) -> Name:
-    """The name the fabricated referral claims is delegated.
-
-    One label below the origin (``com`` for a root guard), so the requester
-    caches the fabricated delegation at the same cut a real referral would
-    use.  When ``qname`` is the origin itself, the origin is returned.
-    """
-    relative = qname.relativize(origin)
-    if not relative:
-        return qname
-    return origin.child(relative[-1])
-
-
-def fabricated_referral(
-    query: Message, origin: Name, cookie_label: bytes, *, ttl: int = FABRICATED_NS_TTL
-) -> Message | None:
-    """Message 2: a referral whose NS name embeds the cookie (no glue).
-
-    Returns None when the original name cannot fit in the cookie label — the
-    caller should fall back to the TCP-based scheme.
-    """
-    qname = query.question.qname
-    ns_target = encode_cookie_name(cookie_label, qname, origin)
-    if ns_target is None:
-        return None
-    response = make_response(query)
-    owner = delegation_owner(qname, origin)
-    response.authorities.append(
-        ResourceRecord(owner, RRType.NS, RRClass.IN, ttl, NS(ns_target))
-    )
-    return response
-
-
-def cookie_name_answer(
-    query: Message, addresses: list[ResourceRecord] | list, *, ttl: int | None = None
-) -> Message:
-    """Message 6: answer the cookie-name A query with the given addresses.
-
-    ``addresses`` may be A ResourceRecords (referral glue, keeping their own
-    TTLs) or raw IPv4 addresses (the COOKIE2 case, using ``ttl``).
-    """
-    response = make_response(query)
-    qname = query.question.qname
-    for item in addresses:
-        if isinstance(item, ResourceRecord):
-            response.answers.append(
-                ResourceRecord(qname, RRType.A, RRClass.IN, item.ttl, item.rdata)
-            )
-        else:
-            response.answers.append(
-                ResourceRecord(
-                    qname, RRType.A, RRClass.IN, ttl or FABRICATED_NS_TTL, A(item)
-                )
-            )
-    return response
+__all__ = [
+    "FABRICATED_NS_TTL",
+    "CookieName",
+    "cookie_name_answer",
+    "decode_cookie_name",
+    "delegation_owner",
+    "encode_cookie_name",
+    "fabricated_referral",
+]

@@ -16,7 +16,6 @@ cookie-capable without touching its software:
 from __future__ import annotations
 
 import copy
-import dataclasses
 from ipaddress import IPv4Address
 
 from ..dnswire import (
@@ -26,6 +25,16 @@ from ..dnswire import (
     ZERO_COOKIE,
 )
 from ..netsim import BOUNDARY_PRIORITY, DnsPayload, Link, Node, Packet, UdpDatagram
+from .core.local_policy import (
+    DEFAULT_COOKIE_TTL,
+    PENDING_TIMEOUT,
+    PROBE_RETRY_INTERVAL,
+    UNCOOKIED_TTL,
+    CachedCookie as _CachedCookie,
+    outbound_action,
+)
+
+__layer__ = "adapter"
 
 #: Trust boundary for the flow analyser (``repro.analysis.flow``).  The
 #: local guard makes no admission decisions — it stamps the resolver's
@@ -81,27 +90,7 @@ __state_bounds__ = {
     },
 }
 
-#: How long a fetched cookie stays cached (the paper's one-week rotation).
-DEFAULT_COOKIE_TTL = 7 * 24 * 3600.0
-
-#: How long held queries wait for a cookie grant before being dropped.
-PENDING_TIMEOUT = 2.0
-
-#: How long the guard remembers that a server answered a cookie probe with a
-#: plain response (i.e. no remote guard is filtering) before probing again.
-UNCOOKIED_TTL = 5.0
-
-#: Minimum spacing between cookie probes for the same (server, client) pair
-#: while queries are held — a lost grant must not deadlock the queue.
-PROBE_RETRY_INTERVAL = 0.1
-
 _CacheKey = tuple[IPv4Address, IPv4Address]  # (server, client)
-
-
-@dataclasses.dataclass(slots=True)
-class _CachedCookie:
-    cookie: bytes
-    expires_at: float
 
 
 class LocalDnsGuard:
@@ -161,21 +150,26 @@ class LocalDnsGuard:
             return "forward"  # already cookie-capable upstream of us
         now = self.node.sim.now
         key = (packet.dst, packet.src)
-        if self._uncookied.get(key, 0.0) > now:
+        queue = self._held.get(key, ())
+        action = outbound_action(
+            uncookied_until=self._uncookied.get(key, 0.0),
+            cached=self._cookies.get(key),
+            now=now,
+            cache_cookies=self.cache_cookies,
+            held_count=len(queue) + 1,
+            last_probe=self._last_probe.get(key, -1.0),
+        )
+        if action == "forward":
             return "forward"  # that server has no remote guard
-        if self.cache_cookies:
-            cached = self._cookies.get(key)
-            if cached is not None and cached.expires_at > now:
-                self._send_with_cookie(packet, datagram, message, cached.cookie)
-                self.queries_stamped += 1
-                return "drop"
+        if action == "stamp":
+            self._send_with_cookie(packet, datagram, message, self._cookies[key].cookie)
+            self.queries_stamped += 1
+            return "drop"
         # no (usable) cookie: hold the query and ask for one.  Probes are
-        # re-sent if the previous one (or its grant) was lost.
-        queue = self._held.setdefault(key, [])
-        queue.append((packet, datagram, now + PENDING_TIMEOUT))
+        # re-sent ("hold-probe") if the previous one (or its grant) was lost.
+        self._held.setdefault(key, []).append((packet, datagram, now + PENDING_TIMEOUT))
         self.queries_held += 1
-        probe_due = now - self._last_probe.get(key, -1.0) >= PROBE_RETRY_INTERVAL
-        if len(queue) == 1 or probe_due or not self.cache_cookies:
+        if action == "hold-probe":
             self._last_probe[key] = now
             self._request_cookie(packet, datagram, message)
         return "drop"

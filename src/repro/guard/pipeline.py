@@ -28,7 +28,7 @@ from __future__ import annotations
 import copy
 import dataclasses
 from ipaddress import IPv4Address, IPv4Network
-from typing import Callable, Literal
+from typing import Callable
 
 from ..dnswire import (
     Message,
@@ -53,21 +53,27 @@ from ..netsim import (
     UdpDatagram,
 )
 from .cookie import CookieFactory, random_key
-from .costs import GuardCosts
-from .dns_scheme import (
+from .core.admission import (
+    AdmissionControl,
+    Policy,
+    fallback_policy,
+    should_shed,
+)
+from .core.dns_scheme import (
     FABRICATED_NS_TTL,
     cookie_name_answer,
     decode_cookie_name,
     fabricated_referral,
 )
-from .ratelimit import (
+from .core.ratelimit import (
     RateEstimator,
     UnverifiedResponseLimiter,
     VerifiedRequestLimiter,
 )
+from .costs import GuardCosts
 from .tcp_scheme import TcpProxy
 
-Policy = Literal["dns", "tcp", "forward", "drop"]
+__layer__ = "adapter"
 
 #: Trust boundary for the flow analyser (``repro.analysis.flow``): every
 #: packet field entering through these handlers is attacker-controlled
@@ -142,9 +148,6 @@ __shared_state__ = {
             "_decision_counters",
         ],
     },
-    "AdmissionControl": {
-        "guarded": ["engaged", "shed_backlog_fraction", "verified_ttl"],
-    },
 }
 
 #: State-bound declaration for the memory analyser
@@ -183,23 +186,6 @@ __state_bounds__ = {
 #: one retry, which is the paper's trade: bounded memory, never an
 #: unbounded table.
 PENDING_CAP = 4096
-
-
-@dataclasses.dataclass(slots=True)
-class AdmissionControl:
-    """Priority-aware ingress admission (§IV.C, closed by ``repro.control``).
-
-    While ``engaged`` and the node CPU backlog exceeds
-    ``shed_backlog_fraction`` of the queue limit, queries from sources
-    without a *fresh verification* (a cookie/label/COOKIE2 success within
-    ``verified_ttl`` seconds) are shed at bare per-packet cost before any
-    DNS parsing.  Verified requesters keep flowing — the opposite of the
-    FIFO queue dropping blindly when it saturates.
-    """
-
-    engaged: bool = False
-    shed_backlog_fraction: float = 0.5
-    verified_ttl: float = 5.0
 
 
 @dataclasses.dataclass(slots=True)
@@ -510,16 +496,20 @@ class RemoteDnsGuard:
         # payload parsing — at bare per-packet cost, so verified traffic
         # keeps its CPU headroom instead of the FIFO dropping blindly
         adm = self.admission
-        if adm is not None and adm.engaged:
+        if adm is not None:
             cpu = self.node.cpu
-            if cpu.backlog >= adm.shed_backlog_fraction * cpu.queue_limit:
-                seen = self._verified_sources.get(packet.src)
-                if seen is None or seen + adm.verified_ttl <= now:
-                    self.admission_shed += 1
-                    self._watched_reject(packet.src)
-                    self._charge(self.costs.per_packet)
-                    self._note("admission", "shed", packet.span)
-                    return "drop"
+            if should_shed(
+                adm,
+                backlog=cpu.backlog,
+                queue_limit=cpu.queue_limit,
+                last_verified=self._verified_sources.get(packet.src),
+                now=now,
+            ):
+                self.admission_shed += 1
+                self._watched_reject(packet.src)
+                self._charge(self.costs.per_packet)
+                self._note("admission", "shed", packet.span)
+                return "drop"
         payload = datagram.payload
         if not isinstance(payload, DnsPayload):
             # not parseable as DNS at all
@@ -652,7 +642,9 @@ class RemoteDnsGuard:
                     packet.dst,
                 )
                 return "drop"
-            # name does not fit in a cookie label: fall back to TCP
+            # name does not fit in a cookie label: escalate along the
+            # core's scheme chain (dns -> tcp)
+            action = fallback_policy(action)
         self.truncations_sent += 1
         self._note("tcp", "challenge", packet.span)
         self._submit(

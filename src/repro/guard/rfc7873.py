@@ -7,10 +7,6 @@ cookie to the client's address).  This module implements that protocol on
 the same testbed so the two designs can be compared head-to-head
 (``benchmarks/bench_ablation.py``):
 
-* :func:`attach_edns_cookie` / :func:`extract_edns_cookie` — the OPT-RR
-  option codec;
-* :class:`EdnsCookieServer` — stateless server-cookie computation and
-  verification (one hash per check, same cost class as the paper's);
 * :class:`EdnsCookieGuard` — an inline middlebox enforcing cookies in front
   of an ANS, mirroring :class:`~repro.guard.RemoteDnsGuard`'s deployment;
 * :class:`EdnsCookieClientShim` — an LRS-side middlebox that makes an
@@ -23,20 +19,37 @@ cookie earns an answerless response with the correct server cookie, and
 the client retries — the same 2-round-trip first contact as the paper's
 modified-DNS scheme, but with the cookie bound to the *client's* cookie as
 well as its address.
+
+The protocol itself — the OPT-RR option codec, the stateless
+server-cookie computation and the client-cookie derivation — lives in
+the pure core (:mod:`repro.guard.core.edns_cookie`); this module is the
+simulator adapter moving packets around it, and re-exports the core
+names for compatibility.
 """
 
 from __future__ import annotations
 
 import copy
 import dataclasses
-import hashlib
 import struct
 from ipaddress import IPv4Address
 
-from ..dnswire import Message, Name, OPT, ResourceRecord, RRType
+from ..dnswire import Message
 from ..netsim import DnsPayload, Link, Node, Packet, RoutingError, UdpDatagram
+from .core.edns_cookie import (
+    CLIENT_COOKIE_LENGTH,
+    OPTION_COOKIE,
+    SERVER_COOKIE_LENGTH,
+    EdnsCookieServer,
+    attach_edns_cookie,
+    derive_client_cookie,
+    extract_edns_cookie,
+    strip_edns_cookie,
+)
 from .costs import GuardCosts
 from .ratelimit import UnverifiedResponseLimiter
+
+__layer__ = "adapter"
 
 #: Trust boundary for the flow analyser (``repro.analysis.flow``).
 __trust_boundary__ = {
@@ -82,65 +95,6 @@ __state_bounds__ = {
 SHIM_COOKIE_CAP = 4096
 SHIM_HELD_KEYS_CAP = 1024
 SHIM_HELD_PER_KEY_CAP = 16
-
-#: EDNS option code for COOKIE (RFC 7873).
-OPTION_COOKIE = 10
-
-#: Client cookie length (fixed by the RFC).
-CLIENT_COOKIE_LENGTH = 8
-
-#: Our server cookie length (the RFC allows 8-32).
-SERVER_COOKIE_LENGTH = 16
-
-
-def attach_edns_cookie(
-    message: Message, client_cookie: bytes, server_cookie: bytes = b""
-) -> Message:
-    """Attach (or replace) an OPT RR carrying the COOKIE option, in place."""
-    if len(client_cookie) != CLIENT_COOKIE_LENGTH:
-        raise ValueError(f"client cookie must be {CLIENT_COOKIE_LENGTH} bytes")
-    strip_edns_cookie(message)
-    opt = OPT(options=((OPTION_COOKIE, client_cookie + server_cookie),))
-    message.additionals.append(
-        ResourceRecord(Name.root(), RRType.OPT, 4096, 0, opt)
-    )
-    return message
-
-
-def extract_edns_cookie(message: Message) -> tuple[bytes, bytes] | None:
-    """(client_cookie, server_cookie) from the OPT RR, or None."""
-    for rr in message.additionals:
-        if rr.rtype == RRType.OPT and isinstance(rr.rdata, OPT):
-            payload = rr.rdata.option(OPTION_COOKIE)
-            if payload is None or len(payload) < CLIENT_COOKIE_LENGTH:
-                return None
-            return payload[:CLIENT_COOKIE_LENGTH], payload[CLIENT_COOKIE_LENGTH:]
-    return None
-
-
-def strip_edns_cookie(message: Message) -> Message:
-    """Remove any OPT RR so the protected ANS sees classic DNS."""
-    message.additionals = [rr for rr in message.additionals if rr.rtype != RRType.OPT]
-    return message
-
-
-class EdnsCookieServer:
-    """Stateless server-cookie computation (RFC 7873 §6)."""
-
-    def __init__(self, key: bytes | None = None):
-        self.key = key if key is not None else hashlib.md5(b"rfc7873").digest()
-        self.computations = 0
-
-    def server_cookie(self, client_cookie: bytes, source: IPv4Address) -> bytes:
-        self.computations += 1
-        material = client_cookie + source.packed + self.key
-        return hashlib.md5(material).digest()[:SERVER_COOKIE_LENGTH]
-
-    def verify(self, client_cookie: bytes, server_cookie: bytes, source: IPv4Address) -> bool:
-        if len(server_cookie) != SERVER_COOKIE_LENGTH:
-            return False
-        return server_cookie == self.server_cookie(client_cookie, source)
-
 
 class EdnsCookieGuard:
     """Inline RFC 7873 enforcement in front of an ANS.
@@ -279,8 +233,7 @@ class EdnsCookieClientShim:
         node.transit_filter = self._transit
 
     def client_cookie(self, client: IPv4Address, server: IPv4Address) -> bytes:
-        material = self._secret + client.packed + server.packed
-        return hashlib.md5(material).digest()[:CLIENT_COOKIE_LENGTH]
+        return derive_client_cookie(self._secret, client, server)
 
     def _transit(self, packet: Packet, link: Link) -> str:
         segment = packet.segment

@@ -23,7 +23,10 @@ from typing import TYPE_CHECKING
 from ..dnswire import Message
 from ..dns.framing import StreamFramer, frame
 from ..netsim import BOUNDARY_PRIORITY, TcpConnection, TcpState
-from .ratelimit import TokenBucket
+from .core.admission import MIN_REAP_SECONDS, REAP_RTT_MULTIPLE, reap_deadline
+from .core.ratelimit import TokenBucket
+
+__layer__ = "adapter"
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .pipeline import RemoteDnsGuard
@@ -75,15 +78,6 @@ __state_bounds__ = {
         },
     },
 }
-
-#: Connections older than this multiple of their RTT are reaped.
-REAP_RTT_MULTIPLE = 5.0
-
-#: Floor for the reaping deadline.  SYN-cookie connections materialise at
-#: the final ACK, so their measured handshake RTT is ~0 and the multiple
-#: alone would reap them instantly; the floor also leaves room for CPU
-#: queueing delays when thousands of connections are in flight (Fig 7a).
-MIN_REAP_SECONDS = 1.0
 
 
 class TcpProxy:
@@ -138,7 +132,7 @@ class TcpProxy:
         self._arm_reaper(conn)
 
     def _arm_reaper(self, conn: TcpConnection) -> None:
-        deadline = max(self.reap_rtt_multiple * (conn.rtt or 0.0), MIN_REAP_SECONDS)
+        deadline = reap_deadline(conn.rtt, self.reap_rtt_multiple)
 
         def reap() -> None:
             if conn.state is not TcpState.CLOSED:

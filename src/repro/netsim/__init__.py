@@ -48,6 +48,8 @@ from .tcp import (
 )
 from .udp import UdpSocket, UdpStack
 
+__layer__ = "platform"
+
 __all__ = [
     "AddressError",
     "BOUNDARY_PRIORITY",

@@ -36,6 +36,8 @@ from .registry import (
 from .runtime import Observability, current, installed
 from .spans import DEFAULT_MAX_SPANS, NULL_SPAN, Span, SpanLog
 
+__layer__ = "platform"
+
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",

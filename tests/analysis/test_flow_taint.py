@@ -223,9 +223,10 @@ class TestRepoTrustDeclarations:
             "pipeline.py",
             "tcp_scheme.py",
             "local_guard.py",
-            "dns_scheme.py",
+            "core/dns_scheme.py",
             "rfc7873.py",
-            "cookie.py",
+            "core/cookie.py",
+            "core/edns_cookie.py",
         ):
             path = REPO_SRC / "repro" / "guard" / name
             decl = find_declaration(ast.parse(path.read_text(encoding="utf-8")))

@@ -199,7 +199,7 @@ class TestR002:
     def test_required_module_without_declaration_fires(self, tmp_path):
         write(
             tmp_path,
-            "guard/ratelimit.py",
+            "guard/core/ratelimit.py",
             """
             class TokenBucket:
                 def consume(self):
@@ -220,7 +220,8 @@ class TestRepoIsClean:
             Path("guard") / "pipeline.py",
             Path("guard") / "local_guard.py",
             Path("guard") / "tcp_scheme.py",
-            Path("guard") / "ratelimit.py",
+            Path("guard") / "core" / "ratelimit.py",
+            Path("guard") / "core" / "admission.py",
             Path("faults") / "plan.py",
         ):
             tree = ast.parse((REPO_SRC / "repro" / name).read_text("utf-8"))
@@ -231,14 +232,14 @@ class TestSeededMutations:
     """PR-4-style mutation proofs: the rule notices the broken repo."""
 
     def test_removing_shared_state_declaration_fires_r002(self, tmp_path):
-        original = (REPO_SRC / "repro" / "guard" / "ratelimit.py").read_text(
-            encoding="utf-8"
-        )
+        original = (
+            REPO_SRC / "repro" / "guard" / "core" / "ratelimit.py"
+        ).read_text(encoding="utf-8")
         begin = original.index("__shared_state__")
         end = original.index("}\n", original.index('"RateEstimator"')) + 2
         mutated = original[:begin] + original[end:]
         assert "__shared_state__" not in mutated
-        write(tmp_path, "guard/ratelimit.py", mutated)
+        write(tmp_path, "guard/core/ratelimit.py", mutated)
         findings = analyze_races([tmp_path], rule_ids=["R002"])
         assert findings, "deleting __shared_state__ must fire R002"
         assert all(f.rule == "R002" for f in findings)
